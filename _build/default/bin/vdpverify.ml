@@ -1,0 +1,132 @@
+(* vdpverify — verify a Click-style pipeline configuration.
+
+   Examples:
+     vdpverify crash router.click
+     vdpverify crash --monolithic --budget 50000 router.click
+     vdpverify bound router.click
+     vdpverify classes *)
+
+module E = Vdp_symbex.Engine
+module V = Vdp_verif.Verifier
+
+open Cmdliner
+
+let config_arg =
+  let doc = "Pipeline configuration file (Click-like syntax)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG" ~doc)
+
+let max_len_arg =
+  let doc = "Assumed maximum frame length in bytes." in
+  Arg.(value & opt int 1514 & info [ "max-len" ] ~doc)
+
+let budget_arg =
+  let doc = "Path budget for the monolithic baseline." in
+  Arg.(value & opt int 200_000 & info [ "budget" ] ~doc)
+
+let monolithic_arg =
+  let doc =
+    "Verify the inlined whole-pipeline program instead of using pipeline \
+     decomposition (slow; may not finish)."
+  in
+  Arg.(value & flag & info [ "monolithic" ] ~doc)
+
+let load path =
+  try Ok (Vdp_click.Config.parse_file path) with
+  | Vdp_click.Config.Parse_error m ->
+    Error (Printf.sprintf "parse error: %s" m)
+  | Vdp_click.Registry.Unknown_class c ->
+    Error (Printf.sprintf "unknown element class: %s" c)
+  | Vdp_click.Registry.Bad_config (cls, m) ->
+    Error (Printf.sprintf "bad configuration for %s: %s" cls m)
+  | Invalid_argument m -> Error m
+
+let verifier_config max_len =
+  {
+    V.default_config with
+    V.engine = { E.default_config with E.max_len };
+  }
+
+let crash_cmd =
+  let run config_path max_len monolithic budget =
+    match load config_path with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok pl ->
+      if monolithic then begin
+        let engine_config =
+          {
+            Vdp_verif.Monolithic.default_engine_config with
+            E.max_paths = budget;
+            E.max_len;
+          }
+        in
+        match Vdp_verif.Monolithic.check_crash_freedom ~engine_config pl with
+        | Vdp_verif.Monolithic.Completed { verdict; paths; time } ->
+          Format.printf "monolithic: %s (%d paths, %.2fs)@."
+            (match verdict with
+            | `Proved -> "PROVED"
+            | `Violated n -> Printf.sprintf "VIOLATED (%d)" n)
+            paths time;
+          0
+        | Vdp_verif.Monolithic.Did_not_finish { paths_explored; time } ->
+          Format.printf
+            "monolithic: DID NOT FINISH (budget %d paths; explored >= %d in \
+             %.2fs)@."
+            budget paths_explored time;
+          2
+      end
+      else begin
+        let r = V.check_crash_freedom ~config:(verifier_config max_len) pl in
+        Format.printf "%a@." Vdp_verif.Report.pp_report r;
+        match r.V.verdict with V.Proved -> 0 | _ -> 2
+      end
+  in
+  let doc = "Prove crash freedom (or produce crashing packets)." in
+  Cmd.v
+    (Cmd.info "crash" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg)
+
+let bound_cmd =
+  let run config_path max_len =
+    match load config_path with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok pl ->
+      let r = V.instruction_bound ~config:(verifier_config max_len) pl in
+      Format.printf "%a@." Vdp_verif.Report.pp_bound_report r;
+      (match r.V.b_verdict with V.Proved -> 0 | _ -> 2)
+  in
+  let doc = "Prove a per-packet instruction bound and find the witness." in
+  Cmd.v (Cmd.info "bound" ~doc) Term.(const run $ config_arg $ max_len_arg)
+
+let show_cmd =
+  let run config_path =
+    match load config_path with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok pl ->
+      Format.printf "%a@." Vdp_click.Pipeline.pp pl;
+      0
+  in
+  let doc = "Parse and display a pipeline configuration." in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ config_arg)
+
+let classes_cmd =
+  let run () =
+    List.iter print_endline (Vdp_click.Registry.classes ());
+    0
+  in
+  let doc = "List the available element classes." in
+  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "verify software-dataplane pipelines" in
+  Cmd.group
+    (Cmd.info "vdpverify" ~version:"1.0.0" ~doc)
+    [ crash_cmd; bound_cmd; show_cmd; classes_cmd ]
+
+let () = exit (Cmd.eval' main)

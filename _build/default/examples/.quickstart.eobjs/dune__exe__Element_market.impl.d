@@ -1,0 +1,1 @@
+examples/element_market.ml: Format List String Unix Vdp_click Vdp_packet Vdp_symbex Vdp_verif

@@ -1,0 +1,1 @@
+examples/element_market.mli:

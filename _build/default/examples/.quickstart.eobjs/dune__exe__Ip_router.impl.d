@@ -1,0 +1,1 @@
+examples/ip_router.ml: Format Vdp_click Vdp_packet Vdp_verif

@@ -1,0 +1,1 @@
+examples/nat_netflow.ml: Array Format List Option Printf Vdp_bitvec Vdp_click Vdp_ir Vdp_packet Vdp_smt Vdp_symbex Vdp_verif

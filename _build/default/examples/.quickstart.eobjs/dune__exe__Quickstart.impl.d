@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Vdp_click Vdp_packet Vdp_verif

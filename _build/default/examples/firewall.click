@@ -1,0 +1,16 @@
+// A small stateless firewall in front of a paint-based splitter.
+//   dune exec bin/vdpverify.exe -- crash examples/firewall.click
+
+cl :: Classifier(12/0800, 12/0806, -);
+chk :: CheckIPHeader;
+fw :: IPFilter(deny proto tcp dport 22,
+               allow src 10.0.0.0/8,
+               allow proto icmp,
+               deny all);
+arp :: ARPResponder(192.0.2.1, 02:00:00:00:00:fe);
+
+cl[0] -> Strip(14) -> chk -> fw -> Paint(1) -> CheckPaint(1);
+cl[1] -> arp;
+cl[2] -> Discard;
+chk[1] -> Discard;
+arp[1] -> Discard;

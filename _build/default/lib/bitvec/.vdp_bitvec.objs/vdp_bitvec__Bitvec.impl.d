@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Array Buffer Char Format Int64 Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/click/config.ml: Buffer Hashtbl List Option Pipeline Printf Registry String

@@ -1,0 +1,1 @@
+lib/click/el_classifier.ml: Array El_util List String Vdp_bitvec Vdp_ir Vdp_tables

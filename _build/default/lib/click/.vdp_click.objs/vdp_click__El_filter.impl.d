@@ -1,0 +1,1 @@
+lib/click/el_filter.ml: El_util List String Vdp_bitvec Vdp_ir Vdp_packet

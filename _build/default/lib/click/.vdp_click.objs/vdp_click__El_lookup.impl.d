@@ -1,0 +1,1 @@
+lib/click/el_lookup.ml: El_util Hashtbl List Stdlib String Vdp_bitvec Vdp_ir Vdp_packet

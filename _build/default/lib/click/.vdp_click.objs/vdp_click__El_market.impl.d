@@ -1,0 +1,1 @@
+lib/click/el_market.ml: Array El_stateful El_util Vdp_bitvec Vdp_ir

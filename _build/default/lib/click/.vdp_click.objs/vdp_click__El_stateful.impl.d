@@ -1,0 +1,1 @@
+lib/click/el_stateful.ml: El_util Vdp_bitvec Vdp_ir

@@ -1,0 +1,1 @@
+lib/click/el_toy.ml: El_util Element Pipeline Vdp_bitvec Vdp_ir

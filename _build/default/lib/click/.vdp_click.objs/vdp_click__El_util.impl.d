@@ -1,0 +1,1 @@
+lib/click/el_util.ml: Vdp_bitvec Vdp_ir

@@ -1,0 +1,1 @@
+lib/click/element.ml: Format String Vdp_ir

@@ -1,0 +1,1 @@
+lib/click/inline.ml: Array Element List Pipeline Printf Vdp_ir

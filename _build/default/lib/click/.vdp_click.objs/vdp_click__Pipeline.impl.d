@@ -1,0 +1,1 @@
+lib/click/pipeline.ml: Array Element Format List Printf

@@ -1,0 +1,1 @@
+lib/click/registry.ml: El_arp El_basic El_classifier El_filter El_icmp El_ip El_lookup El_market El_stateful El_switch Element Hashtbl List String Vdp_ir Vdp_packet

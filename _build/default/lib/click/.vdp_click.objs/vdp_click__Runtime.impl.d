@@ -1,0 +1,1 @@
+lib/click/runtime.ml: Array Element Format List Pipeline Vdp_ir Vdp_packet

@@ -1,0 +1,255 @@
+(** Parser for the Click-like configuration language.
+
+    Supported syntax (a practical subset of Click's):
+
+    {v
+    // comment
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk;
+    chk[1] -> Discard;
+    v}
+
+    Declarations introduce named elements; connection chains wire output
+    port [p] of the left element to input port [q] of the right one
+    ([p]/[q] default to 0). Anonymous elements may be declared inline in
+    a chain, as in Click. The first declared element is the pipeline
+    entry unless an [input] name exists. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type token =
+  | Ident of string
+  | Coloncolon
+  | Arrow
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Semi
+  | Int of int
+  | Config_blob of string  (** raw text inside parentheses *)
+
+(* Tokenises everything except parenthesised configs, which are kept as
+   raw blobs because Click configs have their own per-element syntax. *)
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = ':' then begin
+      push Coloncolon;
+      i := !i + 2
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      push Arrow;
+      i := !i + 2
+    end
+    else if c = '[' then (push Lbracket; incr i)
+    else if c = ']' then (push Rbracket; incr i)
+    else if c = ';' then (push Semi; incr i)
+    else if c = '(' then begin
+      (* Raw blob until the matching close paren. *)
+      let depth = ref 1 in
+      let start = !i + 1 in
+      incr i;
+      while !i < n && !depth > 0 do
+        (match src.[!i] with
+        | '(' -> incr depth
+        | ')' -> decr depth
+        | _ -> ());
+        incr i
+      done;
+      if !depth > 0 then fail "unbalanced parenthesis";
+      push (Config_blob (String.sub src start (!i - 1 - start)))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+      push (Int (int_of_string (String.sub src start (!i - start))))
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    then begin
+      let start = !i in
+      while
+        !i < n
+        && (let c = src.[!i] in
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c = '_')
+      do
+        incr i
+      done;
+      push (Ident (String.sub src start (!i - start)))
+    end
+    else fail "unexpected character %c" c
+  done;
+  List.rev !tokens
+
+(* Split a config blob on top-level commas. *)
+let split_config blob =
+  let blob = String.trim blob in
+  if blob = "" then []
+  else begin
+    let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+        | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        | _ -> Buffer.add_char buf c)
+      blob;
+    parts := Buffer.contents buf :: !parts;
+    List.rev_map String.trim !parts
+  end
+
+type endpoint = { el : int; port : int option }
+
+let parse src =
+  let tokens = ref (tokenize src) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !tokens with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+      tokens := rest;
+      t
+  in
+  let expect t what =
+    let got = advance () in
+    if got <> t then fail "expected %s" what
+  in
+  (* Collected state *)
+  let decls : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let elements = ref [] (* reversed (name, cls, config) *) in
+  let nelements = ref 0 in
+  let edges = ref [] in
+  let anon_counter = ref 0 in
+  let declare name cls config =
+    if Hashtbl.mem decls name then fail "duplicate element name %s" name;
+    let idx = !nelements in
+    Hashtbl.add decls name idx;
+    elements := (name, cls, config) :: !elements;
+    incr nelements;
+    idx
+  in
+  let is_class_name s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z' in
+  (* Parse one element reference inside a chain: either a declared name
+     or an inline anonymous declaration Class(config). *)
+  let element_ref ident =
+    if is_class_name ident then begin
+      let config =
+        match peek () with
+        | Some (Config_blob blob) ->
+          ignore (advance ());
+          split_config blob
+        | _ -> []
+      in
+      incr anon_counter;
+      declare (Printf.sprintf "%s@%d" ident !anon_counter) ident config
+    end
+    else
+      match Hashtbl.find_opt decls ident with
+      | Some idx -> idx
+      | None -> fail "undeclared element %s" ident
+  in
+  let opt_port () =
+    match peek () with
+    | Some Lbracket ->
+      ignore (advance ());
+      let p =
+        match advance () with
+        | Int p -> p
+        | _ -> fail "expected port number"
+      in
+      expect Rbracket "]";
+      Some p
+    | _ -> None
+  in
+  let rec statement () =
+    match peek () with
+    | None -> ()
+    | Some Semi ->
+      ignore (advance ());
+      statement ()
+    | Some (Ident first) -> (
+      ignore (advance ());
+      match peek () with
+      | Some Coloncolon ->
+        (* name :: Class(config) ; *)
+        ignore (advance ());
+        let cls =
+          match advance () with
+          | Ident c -> c
+          | _ -> fail "expected class name after ::"
+        in
+        let config =
+          match peek () with
+          | Some (Config_blob blob) ->
+            ignore (advance ());
+            split_config blob
+          | _ -> []
+        in
+        ignore (declare first cls config);
+        expect Semi ";";
+        statement ()
+      | _ ->
+        (* A connection chain starting with [first]. *)
+        let src = element_ref first in
+        chain { el = src; port = opt_port () };
+        statement ())
+    | Some _ -> fail "expected element name or declaration"
+  and chain (src : endpoint) =
+    match peek () with
+    | Some Arrow ->
+      ignore (advance ());
+      let dport = opt_port () in
+      let dst_ident =
+        match advance () with
+        | Ident id -> id
+        | _ -> fail "expected element after ->"
+      in
+      let dst = element_ref dst_ident in
+      let sport_next = opt_port () in
+      edges :=
+        (src.el, Option.value ~default:0 src.port, dst,
+         Option.value ~default:0 dport)
+        :: !edges;
+      chain { el = dst; port = sport_next }
+    | Some Semi ->
+      ignore (advance ())
+    | None -> ()
+    | Some _ -> fail "expected -> or ; in chain"
+  in
+  statement ();
+  let elements =
+    List.rev_map
+      (fun (name, cls, config) -> Registry.make ~name ~cls ~config)
+      !elements
+  in
+  let entry =
+    match Hashtbl.find_opt decls "input" with Some i -> i | None -> 0
+  in
+  Pipeline.validate (Pipeline.create ~entry elements (List.rev !edges))
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src

@@ -1,0 +1,48 @@
+(** ARPResponder — answers ARP requests for a configured address by
+    rewriting the request into a reply in place (Click's
+    ARPResponder). Input: full Ethernet frame. Port 0: the reply
+    (ready to transmit); port 1: not an ARP request for us. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+let arp_responder ~ip ~mac =
+  let b = Bld.create ~name:"ARPResponder" in
+  Bld.set_nports b 2;
+  let len = Bld.load_len b in
+  (* Ethernet (14) + ARP (28). *)
+  let long_enough = Bld.cmp b Ir.Ule (c16 42) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg long_enough) ~port:1;
+  let ethertype = Bld.load b ~off:(c16 12) ~n:2 in
+  let is_arp = Bld.cmp b Ir.Eq (Ir.Reg ethertype) (c16 0x0806) in
+  guard_or_port b (Ir.Reg is_arp) ~port:1;
+  (* htype=1, ptype=0x0800, hlen=6, plen=4, op=request. *)
+  let fixed = Bld.load b ~off:(c16 14) ~n:8 in
+  let expect =
+    B.of_bytes_be "\x00\x01\x08\x00\x06\x04\x00\x01"
+  in
+  let hdr_ok = Bld.cmp b Ir.Eq (Ir.Reg fixed) (Ir.Const expect) in
+  guard_or_port b (Ir.Reg hdr_ok) ~port:1;
+  (* Target IP must be ours. *)
+  let target_ip = Bld.load b ~off:(c16 38) ~n:4 in
+  let for_us = Bld.cmp b Ir.Eq (Ir.Reg target_ip) (c32 ip) in
+  guard_or_port b (Ir.Reg for_us) ~port:1;
+  (* Rewrite into a reply:
+     - ethernet dst <- requester mac (ARP sender), src <- ours
+     - op <- 2
+     - target mac/ip <- original sender mac/ip
+     - sender mac/ip <- ours *)
+  let req_mac = Bld.load b ~off:(c16 22) ~n:6 in
+  let req_ip = Bld.load b ~off:(c16 28) ~n:4 in
+  let ours = Ir.Const (B.of_bytes_be mac) in
+  Bld.store b ~off:(c16 0) ~n:6 (Ir.Reg req_mac);
+  Bld.store b ~off:(c16 6) ~n:6 ours;
+  Bld.store b ~off:(c16 20) ~n:2 (c16 2);
+  Bld.store b ~off:(c16 22) ~n:6 ours;
+  Bld.store b ~off:(c16 28) ~n:4 (c32 ip);
+  Bld.store b ~off:(c16 32) ~n:6 (Ir.Reg req_mac);
+  Bld.store b ~off:(c16 38) ~n:4 (Ir.Reg req_ip);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b

@@ -1,0 +1,83 @@
+(** Basic elements: Discard, Counter, Paint, Strip, Unstrip,
+    EtherEncap, EtherRewrite. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+let discard () =
+  let b = Bld.create ~name:"Discard" in
+  Bld.set_nports b 0;
+  Bld.term b Ir.Drop;
+  Bld.finish b
+
+(** Counts packets and bytes in a private store (keys 0 and 1). *)
+let counter () =
+  let b = Bld.create ~name:"Counter" in
+  Bld.declare_store b
+    {
+      Ir.store_name = "counter";
+      key_width = 8;
+      val_width = 64;
+      kind = Ir.Private;
+      default = B.zero 64;
+      init = [];
+    };
+  let pkts = Bld.kv_read b ~store:"counter" ~key:(c8 0) ~val_width:64 in
+  let pkts' =
+    Bld.assign b ~width:64
+      (Ir.Binop (Ir.Add, Ir.Reg pkts, Ir.Const (B.one 64)))
+  in
+  Bld.instr b (Ir.Kv_write ("counter", c8 0, Ir.Reg pkts'));
+  let len = Bld.load_len b in
+  let len64 = Bld.zext b ~width:64 (Ir.Reg len) in
+  let bytes = Bld.kv_read b ~store:"counter" ~key:(c8 1) ~val_width:64 in
+  let bytes' =
+    Bld.assign b ~width:64 (Ir.Binop (Ir.Add, Ir.Reg bytes, Ir.Reg len64))
+  in
+  Bld.instr b (Ir.Kv_write ("counter", c8 1, Ir.Reg bytes'));
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+let paint color =
+  let b = Bld.create ~name:"Paint" in
+  Bld.instr b (Ir.Meta_set (Ir.Color, c8 color));
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** [Strip n] removes the first [n] bytes — crashes on shorter packets,
+    exactly like pulling a non-existent header would in C++. *)
+let strip n =
+  let b = Bld.create ~name:"Strip" in
+  Bld.instr b (Ir.Pull n);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+let unstrip n =
+  let b = Bld.create ~name:"Unstrip" in
+  Bld.instr b (Ir.Push n);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** [EtherEncap (ethertype, src, dst)] prepends a fresh Ethernet
+    header. Consumes 14 bytes of headroom — crashes when none is left. *)
+let ether_encap ~ethertype ~src ~dst =
+  let b = Bld.create ~name:"EtherEncap" in
+  Bld.instr b (Ir.Push 14);
+  let mac_rv m =
+    Ir.Const (B.of_bytes_be m)
+  in
+  Bld.store b ~off:(c16 0) ~n:6 (mac_rv dst);
+  Bld.store b ~off:(c16 6) ~n:6 (mac_rv src);
+  Bld.store b ~off:(c16 12) ~n:2 (c16 ethertype);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** Rewrites the MACs of an existing Ethernet header in place. *)
+let ether_rewrite ~src ~dst =
+  let b = Bld.create ~name:"EtherRewrite" in
+  Bld.store b ~off:(c16 0) ~n:6 (Ir.Const (B.of_bytes_be dst));
+  Bld.store b ~off:(c16 6) ~n:6 (Ir.Const (B.of_bytes_be src));
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b

@@ -1,0 +1,81 @@
+(** Classifier: compiles Click-style patterns into a compare/branch
+    chain. Pattern [i] routes to output port [i]; packets matching no
+    pattern are dropped. Length checks are compiled in front of every
+    load, so a Classifier can never crash — it is the guard other
+    elements rely on. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+module Cls = Vdp_tables.Classifier
+open El_util
+
+(* Split a clause into loads of at most 8 bytes. *)
+let clause_chunks (c : Cls.clause) =
+  let n = String.length c.Cls.value in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      let k = min 8 (n - off) in
+      go (off + k)
+        ((c.Cls.offset + off, String.sub c.Cls.value off k,
+          String.sub c.Cls.mask off k)
+        :: acc)
+  in
+  go 0 []
+
+let compile specs =
+  let patterns = Cls.parse specs in
+  let b = Bld.create ~name:"Classifier" in
+  Bld.set_nports b (Array.length patterns);
+  let len = Bld.load_len b in
+  (* Blocks: try_i tests pattern i, jumping to try_{i+1} on mismatch. *)
+  let ntry = Array.length patterns in
+  let try_blocks = Array.init ntry (fun _ -> Bld.new_block b) in
+  let no_match = Bld.new_block b in
+  (match try_blocks with
+  | [||] -> Bld.term b (Ir.Goto no_match)
+  | _ -> Bld.term b (Ir.Goto try_blocks.(0)));
+  Array.iteri
+    (fun i pat ->
+      Bld.select b try_blocks.(i);
+      let next = if i + 1 < ntry then try_blocks.(i + 1) else no_match in
+      match pat with
+      | Cls.Any -> Bld.term b (Ir.Emit i)
+      | Cls.Match clauses ->
+        (* Length precondition for all loads of this pattern. *)
+        let reach = Cls.max_reach pat in
+        let long_enough =
+          Bld.cmp b Ir.Ule (c16 reach) (Ir.Reg len)
+        in
+        let load_blk = Bld.new_block b in
+        Bld.term b (Ir.Branch (Ir.Reg long_enough, load_blk, next));
+        Bld.select b load_blk;
+        (* Each chunk comparison can fail to [next]. *)
+        List.iter
+          (fun clause ->
+            List.iter
+              (fun (off, value, mask) ->
+                let k = String.length value in
+                let loaded = Bld.load b ~off:(c16 off) ~n:k in
+                let masked =
+                  Bld.assign b ~width:(8 * k)
+                    (Ir.Binop
+                       (Ir.And, Ir.Reg loaded, Ir.Const (B.of_bytes_be mask)))
+                in
+                let expect =
+                  B.logand (B.of_bytes_be value) (B.of_bytes_be mask)
+                in
+                let is_eq =
+                  Bld.cmp b Ir.Eq (Ir.Reg masked) (Ir.Const expect)
+                in
+                let cont = Bld.new_block b in
+                Bld.term b (Ir.Branch (Ir.Reg is_eq, cont, next));
+                Bld.select b cont)
+              (clause_chunks clause))
+          clauses;
+        Bld.term b (Ir.Emit i))
+    patterns;
+  Bld.select b no_match;
+  Bld.term b Ir.Drop;
+  Bld.finish b

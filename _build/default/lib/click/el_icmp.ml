@@ -1,0 +1,121 @@
+(** ICMPError — rewrites an IP packet into an ICMP error about it
+    (Click's ICMPError, e.g. time-exceeded for DecIPTTL's expired
+    port). Input: IP packet at offset 0. Output: a new IP packet
+    [new IP header (20) | ICMP header (8) | original IP header + 8
+    bytes], checksummed and ready for routing. Port 1 rejects packets
+    too short to quote. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+let icmp_error ~src ~icmp_type ~icmp_code =
+  let b = Bld.create ~name:"ICMPError" in
+  Bld.set_nports b 2;
+  (* Need a full IP header to quote. *)
+  let len = Bld.load_len b in
+  let has_min = Bld.cmp b Ir.Ule (c16 20) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg has_min) ~port:1;
+  let b0 = Bld.load b ~off:(c16 0) ~n:1 in
+  let ihl = Bld.assign b ~width:8 (Ir.Binop (Ir.And, Ir.Reg b0, c8 0xf)) in
+  let ihl16 = Bld.zext b ~width:16 (Ir.Reg ihl) in
+  let hlen =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Shl, Ir.Reg ihl16, c16 2))
+  in
+  (* Quote the header + 8 payload bytes (or what exists of them). *)
+  let quote_want =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg hlen, c16 8))
+  in
+  let enough = Bld.cmp b Ir.Ule (Ir.Reg quote_want) (Ir.Reg len) in
+  let quote =
+    Bld.select_val b ~width:16 (Ir.Reg enough) (Ir.Reg quote_want)
+      (Ir.Reg len)
+  in
+  let sane = Bld.cmp b Ir.Ule (Ir.Reg quote) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg sane) ~port:1;
+  (* Original destination becomes the error's destination. *)
+  let orig_src = Bld.load b ~off:(c16 12) ~n:4 in
+  (* Make room for the new IP (20) + ICMP (8) headers, then truncate
+     to headers + quote. *)
+  Bld.instr b (Ir.Push 28);
+  let total =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg quote, c16 28))
+  in
+  Bld.instr b (Ir.Take (Ir.Reg total));
+  (* New IP header. *)
+  Bld.store b ~off:(c16 0) ~n:1 (c8 0x45);
+  Bld.store b ~off:(c16 1) ~n:1 (c8 0);
+  Bld.store b ~off:(c16 2) ~n:2 (Ir.Reg total);
+  Bld.store b ~off:(c16 4) ~n:4 (c32 0) (* ident, flags *);
+  Bld.store b ~off:(c16 8) ~n:1 (c8 64) (* ttl *);
+  Bld.store b ~off:(c16 9) ~n:1 (c8 1) (* proto ICMP *);
+  Bld.store b ~off:(c16 10) ~n:2 (c16 0);
+  Bld.store b ~off:(c16 12) ~n:4 (c32 src);
+  Bld.store b ~off:(c16 16) ~n:4 (Ir.Reg orig_src);
+  (* ICMP header: type, code, checksum(0), unused. *)
+  Bld.store b ~off:(c16 20) ~n:1 (c8 icmp_type);
+  Bld.store b ~off:(c16 21) ~n:1 (c8 icmp_code);
+  Bld.store b ~off:(c16 22) ~n:2 (c16 0);
+  Bld.store b ~off:(c16 24) ~n:4 (c32 0);
+  (* ICMP checksum over [20, total) — a data-dependent-length loop. *)
+  let sum = Bld.reg b ~width:32 in
+  let off = Bld.reg b ~width:16 in
+  Bld.instr b (Ir.Assign (sum, Ir.Move (c32 0)));
+  Bld.instr b (Ir.Assign (off, Ir.Move (c16 20)));
+  let head = Bld.new_block b in
+  let two = Bld.new_block b in
+  let one = Bld.new_block b in
+  let step = Bld.new_block b in
+  let exit = Bld.new_block b in
+  Bld.term b (Ir.Goto head);
+  Bld.select b head;
+  let off1 =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg off, c16 1))
+  in
+  let more2 = Bld.cmp b Ir.Ult (Ir.Reg off1) (Ir.Reg total) in
+  let more1_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg more2, two, more1_blk));
+  Bld.select b more1_blk;
+  let more1 = Bld.cmp b Ir.Ult (Ir.Reg off) (Ir.Reg total) in
+  Bld.term b (Ir.Branch (Ir.Reg more1, one, exit));
+  (* Full 16-bit word. *)
+  Bld.select b two;
+  let word = Bld.load b ~off:(Ir.Reg off) ~n:2 in
+  let wide = Bld.zext b ~width:32 (Ir.Reg word) in
+  Bld.instr b (Ir.Assign (sum, Ir.Binop (Ir.Add, Ir.Reg sum, Ir.Reg wide)));
+  Bld.term b (Ir.Goto step);
+  (* Trailing odd byte, padded with zero. *)
+  Bld.select b one;
+  let byte = Bld.load b ~off:(Ir.Reg off) ~n:1 in
+  let wideb = Bld.zext b ~width:32 (Ir.Reg byte) in
+  let shifted =
+    Bld.assign b ~width:32 (Ir.Binop (Ir.Shl, Ir.Reg wideb, c32 8))
+  in
+  Bld.instr b
+    (Ir.Assign (sum, Ir.Binop (Ir.Add, Ir.Reg sum, Ir.Reg shifted)));
+  Bld.term b (Ir.Goto step);
+  Bld.select b step;
+  Bld.instr b (Ir.Assign (off, Ir.Binop (Ir.Add, Ir.Reg off, c16 2)));
+  Bld.term b (Ir.Goto head);
+  Bld.select b exit;
+  let fold () =
+    let low =
+      Bld.assign b ~width:32 (Ir.Binop (Ir.And, Ir.Reg sum, c32 0xffff))
+    in
+    let high =
+      Bld.assign b ~width:32 (Ir.Binop (Ir.Lshr, Ir.Reg sum, c32 16))
+    in
+    Bld.instr b (Ir.Assign (sum, Ir.Binop (Ir.Add, Ir.Reg low, Ir.Reg high)))
+  in
+  fold ();
+  fold ();
+  let low16 = Bld.extract b ~hi:15 ~lo:0 (Ir.Reg sum) in
+  let cks = Bld.assign b ~width:16 (Ir.Unop (Ir.Not, Ir.Reg low16)) in
+  Bld.store b ~off:(c16 22) ~n:2 (Ir.Reg cks);
+  (* Finally the IP header checksum (fixed 20 bytes). *)
+  let ip_sum = checksum_sum b ~hlen_rv:(c16 20) in
+  let ip_cks = Bld.assign b ~width:16 (Ir.Unop (Ir.Not, Ir.Reg ip_sum)) in
+  Bld.store b ~off:(c16 10) ~n:2 (Ir.Reg ip_cks);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b

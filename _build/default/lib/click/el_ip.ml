@@ -1,0 +1,211 @@
+(** IPv4 elements: CheckIPHeader, DecIPTTL, SetIPChecksum, IPGWOptions.
+
+    All of them expect the IP header at offset 0 (i.e. after Strip(14)).
+    CheckIPHeader is the safety anchor: downstream of its good port,
+    [len >= total_len >= ihl * 4 >= 20] holds, which is what discharges
+    the other elements' suspect out-of-bounds segments during pipeline
+    composition. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+(** Port 0: valid IPv4 header. Port 1: malformed. Never crashes. *)
+let check_ip_header () =
+  let b = Bld.create ~name:"CheckIPHeader" in
+  Bld.set_nports b 2;
+  let len = Bld.load_len b in
+  (* len >= 20 *)
+  let min_ok = Bld.cmp b Ir.Ule (c16 20) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg min_ok) ~port:1;
+  let b0 = Bld.load b ~off:(c16 0) ~n:1 in
+  let version = Bld.assign b ~width:8 (Ir.Binop (Ir.Lshr, Ir.Reg b0, c8 4)) in
+  let v4 = Bld.cmp b Ir.Eq (Ir.Reg version) (c8 4) in
+  guard_or_port b (Ir.Reg v4) ~port:1;
+  let ihl = Bld.assign b ~width:8 (Ir.Binop (Ir.And, Ir.Reg b0, c8 0xf)) in
+  let ihl_ok = Bld.cmp b Ir.Ule (c8 5) (Ir.Reg ihl) in
+  guard_or_port b (Ir.Reg ihl_ok) ~port:1;
+  let ihl16 = Bld.zext b ~width:16 (Ir.Reg ihl) in
+  let hlen =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Shl, Ir.Reg ihl16, c16 2))
+  in
+  (* len >= hlen *)
+  let hlen_ok = Bld.cmp b Ir.Ule (Ir.Reg hlen) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg hlen_ok) ~port:1;
+  (* total_len sanity: hlen <= total_len <= len *)
+  let total = Bld.load b ~off:(c16 2) ~n:2 in
+  let t_lo = Bld.cmp b Ir.Ule (Ir.Reg hlen) (Ir.Reg total) in
+  guard_or_port b (Ir.Reg t_lo) ~port:1;
+  let t_hi = Bld.cmp b Ir.Ule (Ir.Reg total) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg t_hi) ~port:1;
+  (* Header checksum must verify: the folded one's-complement sum over
+     the header equals 0xffff. All loads are within [hlen] <= len. *)
+  let sum = checksum_sum b ~hlen_rv:(Ir.Reg hlen) in
+  let cks_ok = Bld.cmp b Ir.Eq (Ir.Reg sum) (c16 0xffff) in
+  guard_or_port b (Ir.Reg cks_ok) ~port:1;
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** Port 0: TTL decremented, checksum incrementally patched (RFC 1624).
+    Port 1: TTL expired (would become 0). In isolation the TTL load is a
+    suspect out-of-bounds access; composition with CheckIPHeader
+    discharges it. *)
+let dec_ip_ttl () =
+  let b = Bld.create ~name:"DecIPTTL" in
+  Bld.set_nports b 2;
+  let ttl = Bld.load b ~off:(c16 8) ~n:1 in
+  let alive = Bld.cmp b Ir.Ult (c8 1) (Ir.Reg ttl) in
+  guard_or_port b (Ir.Reg alive) ~port:1;
+  let ttl' =
+    Bld.assign b ~width:8 (Ir.Binop (Ir.Sub, Ir.Reg ttl, c8 1))
+  in
+  Bld.store b ~off:(c16 8) ~n:1 (Ir.Reg ttl');
+  (* Incremental checksum update: adding 0x0100 with end-around carry. *)
+  let cks = Bld.load b ~off:(c16 10) ~n:2 in
+  let wide = Bld.zext b ~width:32 (Ir.Reg cks) in
+  let bumped =
+    Bld.assign b ~width:32 (Ir.Binop (Ir.Add, Ir.Reg wide, c32 0x0100))
+  in
+  let low =
+    Bld.assign b ~width:32 (Ir.Binop (Ir.And, Ir.Reg bumped, c32 0xffff))
+  in
+  let carry =
+    Bld.assign b ~width:32 (Ir.Binop (Ir.Lshr, Ir.Reg bumped, c32 16))
+  in
+  let folded =
+    Bld.assign b ~width:32 (Ir.Binop (Ir.Add, Ir.Reg low, Ir.Reg carry))
+  in
+  let cks' = Bld.extract b ~hi:15 ~lo:0 (Ir.Reg folded) in
+  Bld.store b ~off:(c16 10) ~n:2 (Ir.Reg cks');
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** Recomputes the header checksum from scratch. *)
+let set_ip_checksum () =
+  let b = Bld.create ~name:"SetIPChecksum" in
+  let b0 = Bld.load b ~off:(c16 0) ~n:1 in
+  let ihl = Bld.assign b ~width:8 (Ir.Binop (Ir.And, Ir.Reg b0, c8 0xf)) in
+  let ihl16 = Bld.zext b ~width:16 (Ir.Reg ihl) in
+  let hlen =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Shl, Ir.Reg ihl16, c16 2))
+  in
+  Bld.store b ~off:(c16 10) ~n:2 (c16 0);
+  let sum = checksum_sum b ~hlen_rv:(Ir.Reg hlen) in
+  let cks =
+    Bld.assign b ~width:16 (Ir.Unop (Ir.Not, Ir.Reg sum))
+  in
+  Bld.store b ~off:(c16 10) ~n:2 (Ir.Reg cks);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** IP options processing, modelled on Click's IPGWOptions: walks the
+    option list; NOPs advance by one, EOL stops, Record-Route options
+    get the gateway address stamped at the pointer. Malformed options go
+    to port 1. This is the element whose loop makes naive symbolic
+    execution blow up — each iteration reads attacker-controlled kind
+    and length bytes. *)
+let ip_gw_options ~gw =
+  let b = Bld.create ~name:"IPGWOptions" in
+  Bld.set_nports b 2;
+  let b0 = Bld.load b ~off:(c16 0) ~n:1 in
+  let ihl = Bld.assign b ~width:8 (Ir.Binop (Ir.And, Ir.Reg b0, c8 0xf)) in
+  let ihl16 = Bld.zext b ~width:16 (Ir.Reg ihl) in
+  let hlen =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Shl, Ir.Reg ihl16, c16 2))
+  in
+  (* No options: pass straight through. *)
+  let has_opts = Bld.cmp b Ir.Ult (c16 20) (Ir.Reg hlen) in
+  guard_or_port b (Ir.Reg has_opts) ~port:0;
+  let off = Bld.reg b ~width:16 in
+  Bld.instr b (Ir.Assign (off, Ir.Move (c16 20)));
+  let head = Bld.new_block b in
+  let body = Bld.new_block b in
+  let done_ = Bld.new_block b in
+  let bad = Bld.new_block b in
+  Bld.term b (Ir.Goto head);
+  (* loop head: while off < hlen *)
+  Bld.select b head;
+  let more = Bld.cmp b Ir.Ult (Ir.Reg off) (Ir.Reg hlen) in
+  Bld.term b (Ir.Branch (Ir.Reg more, body, done_));
+  (* loop body *)
+  Bld.select b body;
+  let kind = Bld.load b ~off:(Ir.Reg off) ~n:1 in
+  (* EOL (0): stop processing. *)
+  let is_eol = Bld.cmp b Ir.Eq (Ir.Reg kind) (c8 0) in
+  let not_eol = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg is_eol, done_, not_eol));
+  Bld.select b not_eol;
+  (* NOP (1): advance one byte. *)
+  let is_nop = Bld.cmp b Ir.Eq (Ir.Reg kind) (c8 1) in
+  let nop_blk = Bld.new_block b and option_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg is_nop, nop_blk, option_blk));
+  Bld.select b nop_blk;
+  Bld.instr b (Ir.Assign (off, Ir.Binop (Ir.Add, Ir.Reg off, c16 1)));
+  Bld.term b (Ir.Goto head);
+  (* Multi-byte option: need a length byte within the header. *)
+  Bld.select b option_blk;
+  let off1 = Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg off, c16 1)) in
+  let len_in = Bld.cmp b Ir.Ult (Ir.Reg off1) (Ir.Reg hlen) in
+  let have_len = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg len_in, have_len, bad));
+  Bld.select b have_len;
+  let olen8 = Bld.load b ~off:(Ir.Reg off1) ~n:1 in
+  let olen = Bld.zext b ~width:16 (Ir.Reg olen8) in
+  (* olen >= 2 and off + olen <= hlen *)
+  let len_lo = Bld.cmp b Ir.Ule (c16 2) (Ir.Reg olen) in
+  let l_ok = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg len_lo, l_ok, bad));
+  Bld.select b l_ok;
+  let opt_end =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg off, Ir.Reg olen))
+  in
+  let fits = Bld.cmp b Ir.Ule (Ir.Reg opt_end) (Ir.Reg hlen) in
+  let f_ok = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg fits, f_ok, bad));
+  Bld.select b f_ok;
+  (* Record Route (7): stamp the gateway address at the pointer. *)
+  let is_rr = Bld.cmp b Ir.Eq (Ir.Reg kind) (c8 7) in
+  let rr_blk = Bld.new_block b and advance = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg is_rr, rr_blk, advance));
+  Bld.select b rr_blk;
+  (* RR layout: kind, len, ptr, data...; ptr is 1-based, first slot 4. *)
+  let rr_min = Bld.cmp b Ir.Ule (c16 3) (Ir.Reg olen) in
+  let rr_have_ptr = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg rr_min, rr_have_ptr, bad));
+  Bld.select b rr_have_ptr;
+  let off2 = Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg off, c16 2)) in
+  let ptr8 = Bld.load b ~off:(Ir.Reg off2) ~n:1 in
+  let ptr = Bld.zext b ~width:16 (Ir.Reg ptr8) in
+  let ptr_lo = Bld.cmp b Ir.Ule (c16 4) (Ir.Reg ptr) in
+  let rr_ptr_ok = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg ptr_lo, rr_ptr_ok, bad));
+  Bld.select b rr_ptr_ok;
+  (* Room for a 4-byte address: ptr - 1 + 4 <= olen ? stamp : full. *)
+  let slot_end =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg ptr, c16 3))
+  in
+  let room = Bld.cmp b Ir.Ule (Ir.Reg slot_end) (Ir.Reg olen) in
+  let stamp = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg room, stamp, advance));
+  Bld.select b stamp;
+  let ptr_base =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg off, Ir.Reg ptr))
+  in
+  let slot =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Sub, Ir.Reg ptr_base, c16 1))
+  in
+  Bld.store b ~off:(Ir.Reg slot) ~n:4 (c32 gw);
+  let ptr' = Bld.assign b ~width:8 (Ir.Binop (Ir.Add, Ir.Reg ptr8, c8 4)) in
+  Bld.store b ~off:(Ir.Reg off2) ~n:1 (Ir.Reg ptr');
+  Bld.term b (Ir.Goto advance);
+  (* advance to next option *)
+  Bld.select b advance;
+  Bld.instr b (Ir.Assign (off, Ir.Move (Ir.Reg opt_end)));
+  Bld.term b (Ir.Goto head);
+  (* exits *)
+  Bld.select b done_;
+  Bld.term b (Ir.Emit 0);
+  Bld.select b bad;
+  Bld.term b (Ir.Emit 1);
+  Bld.finish b

@@ -1,0 +1,205 @@
+(** Routing lookup elements.
+
+    [StaticIPLookup] compiles the route table into a compare/branch
+    chain (longest prefix first) — the table is static state baked into
+    the code, which is what makes per-configuration reachability proofs
+    meaningful.
+
+    [RadixIPLookup] keeps the routes in a static key/value store indexed
+    DIR-style by the top 16 address bits — one bounded store read per
+    packet, demonstrating the paper's array-backed-structure approach.
+    Prefixes longer than 16 bits fall back to a second store read. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+type route = {
+  prefix : int;   (** network byte-order 32-bit address *)
+  plen : int;
+  gw : int;       (** next-hop address annotation (0 = directly connected) *)
+  port : int;
+}
+
+let parse_route spec =
+  (* "10.0.0.0/8 1" or "10.0.0.0/8 192.168.0.1 1" *)
+  match String.split_on_char ' ' (String.trim spec)
+        |> List.filter (fun s -> s <> "")
+  with
+  | [ cidr; port ] | [ cidr; _; port ] as parts -> (
+    let gw =
+      match parts with
+      | [ _; gw; _ ] -> Vdp_packet.Ipv4.addr_of_string gw
+      | _ -> 0
+    in
+    match String.split_on_char '/' cidr with
+    | [ addr; len ] ->
+      {
+        prefix = Vdp_packet.Ipv4.addr_of_string addr;
+        plen = int_of_string len;
+        gw;
+        port = int_of_string port;
+      }
+    | _ -> invalid_arg ("StaticIPLookup: bad route " ^ spec))
+  | _ -> invalid_arg ("StaticIPLookup: bad route " ^ spec)
+
+let mask_of_len len =
+  if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+
+let static_ip_lookup routes =
+  let routes =
+    List.sort (fun r1 r2 -> Stdlib.compare r2.plen r1.plen) routes
+  in
+  let nports =
+    List.fold_left (fun acc r -> max acc (r.port + 1)) 1 routes
+  in
+  let b = Bld.create ~name:"StaticIPLookup" in
+  Bld.set_nports b nports;
+  let dst = Bld.load b ~off:(c16 16) ~n:4 in
+  let rec chain = function
+    | [] -> Bld.term b Ir.Drop (* no route: drop (Click discards too) *)
+    | r :: rest ->
+      let masked =
+        Bld.assign b ~width:32
+          (Ir.Binop (Ir.And, Ir.Reg dst, c32 (mask_of_len r.plen)))
+      in
+      let hit =
+        Bld.cmp b Ir.Eq (Ir.Reg masked) (c32 (r.prefix land mask_of_len r.plen))
+      in
+      let hit_blk = Bld.new_block b and miss_blk = Bld.new_block b in
+      Bld.term b (Ir.Branch (Ir.Reg hit, hit_blk, miss_blk));
+      Bld.select b hit_blk;
+      Bld.instr b (Ir.Meta_set (Ir.W0, c32 r.gw));
+      Bld.term b (Ir.Emit r.port);
+      Bld.select b miss_blk;
+      chain rest
+  in
+  chain routes;
+  Bld.finish b
+
+(** DIR-16-16: static store "lpm16" maps the top 16 bits to a route
+    word [port+1 | gw<<8], 0 = miss; store "lpm32" maps the full address
+    for longer prefixes, consulted only when the first word has its
+    spill bit (bit 40) set. Route words are 48 bits:
+    [spill(1) | gw(32) | port+1(8)] packed as gw*256 + code. *)
+let route_word ~spill ~gw ~port =
+  let w = (gw * 256) + (port + 1) in
+  B.of_int ~width:48 (if spill then w lor (1 lsl 40) else w)
+
+let radix_ip_lookup routes =
+  (* Expand <=16-bit prefixes over the top-16 table; longer prefixes get
+     exact-match entries per covered /32 — callers use them for host
+     routes. *)
+  let top = Hashtbl.create 1024 in
+  let long = Hashtbl.create 64 in
+  let sorted =
+    List.sort (fun r1 r2 -> Stdlib.compare r1.plen r2.plen) routes
+  in
+  List.iter
+    (fun r ->
+      if r.plen <= 16 then begin
+        let base = (r.prefix lsr 16) land 0xffff in
+        let span = 1 lsl (16 - r.plen) in
+        let base = base land lnot (span - 1) in
+        for i = base to base + span - 1 do
+          Hashtbl.replace top i (r.gw, r.port, false)
+        done
+      end
+      else begin
+        if r.plen <> 32 then
+          invalid_arg "RadixIPLookup: prefixes must be <=16 or exactly 32";
+        Hashtbl.replace long r.prefix (r.gw, r.port);
+        let ti = (r.prefix lsr 16) land 0xffff in
+        let gw, port, _ =
+          match Hashtbl.find_opt top ti with
+          | Some entry -> entry
+          | None -> (0, -1, false)
+        in
+        Hashtbl.replace top ti (gw, port, true)
+      end)
+    sorted;
+  let nports =
+    List.fold_left (fun acc r -> max acc (r.port + 1)) 1 routes
+  in
+  let top_init =
+    Hashtbl.fold
+      (fun k (gw, port, spill) acc ->
+        let word =
+          if port < 0 then route_word ~spill ~gw:0 ~port:(-1)
+          else route_word ~spill ~gw ~port
+        in
+        (B.of_int ~width:16 k, word) :: acc)
+      top []
+  in
+  let long_init =
+    Hashtbl.fold
+      (fun k (gw, port) acc ->
+        (B.of_int ~width:32 k, route_word ~spill:false ~gw ~port) :: acc)
+      long []
+  in
+  let b = Bld.create ~name:"RadixIPLookup" in
+  Bld.set_nports b nports;
+  Bld.declare_store b
+    {
+      Ir.store_name = "lpm16";
+      key_width = 16;
+      val_width = 48;
+      kind = Ir.Static;
+      default = B.zero 48;
+      init = top_init;
+    };
+  Bld.declare_store b
+    {
+      Ir.store_name = "lpm32";
+      key_width = 32;
+      val_width = 48;
+      kind = Ir.Static;
+      default = B.zero 48;
+      init = long_init;
+    };
+  let dst = Bld.load b ~off:(c16 16) ~n:4 in
+  let hi16 = Bld.extract b ~hi:31 ~lo:16 (Ir.Reg dst) in
+  let word = Bld.kv_read b ~store:"lpm16" ~key:(Ir.Reg hi16) ~val_width:48 in
+  (* Spill to the exact-match table? *)
+  let spill_bit = Bld.extract b ~hi:40 ~lo:40 (Ir.Reg word) in
+  let exact_blk = Bld.new_block b and decide_blk = Bld.new_block b in
+  let final = Bld.reg b ~width:48 in
+  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg word)));
+  Bld.term b (Ir.Branch (Ir.Reg spill_bit, exact_blk, decide_blk));
+  Bld.select b exact_blk;
+  let word32 = Bld.kv_read b ~store:"lpm32" ~key:(Ir.Reg dst) ~val_width:48 in
+  (* Exact miss falls back to the top-level word (minus its spill bit). *)
+  let miss = Bld.cmp b Ir.Eq (Ir.Reg word32) (Ir.Const (B.zero 48)) in
+  let strip_spill =
+    Bld.assign b ~width:48
+      (Ir.Binop
+         (Ir.And, Ir.Reg word, Ir.Const (B.lognot (B.shl (B.one 48) 40))))
+  in
+  let chosen =
+    Bld.select_val b ~width:48 (Ir.Reg miss) (Ir.Reg strip_spill)
+      (Ir.Reg word32)
+  in
+  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg chosen)));
+  Bld.term b (Ir.Goto decide_blk);
+  Bld.select b decide_blk;
+  let code = Bld.extract b ~hi:7 ~lo:0 (Ir.Reg final) in
+  let has_route = Bld.cmp b Ir.Ne (Ir.Reg code) (c8 0) in
+  guard_or_drop b (Ir.Reg has_route);
+  let gw = Bld.extract b ~hi:39 ~lo:8 (Ir.Reg final) in
+  Bld.instr b (Ir.Meta_set (Ir.W0, Ir.Reg gw));
+  (* Dispatch on the port encoded in the route word. *)
+  let rec dispatch p =
+    if p >= nports then Bld.term b Ir.Drop
+    else begin
+      let hit = Bld.cmp b Ir.Eq (Ir.Reg code) (c8 (p + 1)) in
+      let hit_blk = Bld.new_block b and next_blk = Bld.new_block b in
+      Bld.term b (Ir.Branch (Ir.Reg hit, hit_blk, next_blk));
+      Bld.select b hit_blk;
+      Bld.term b (Ir.Emit p);
+      Bld.select b next_blk;
+      dispatch (p + 1)
+    end
+  in
+  dispatch 0;
+  Bld.finish b

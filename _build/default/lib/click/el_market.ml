@@ -1,0 +1,109 @@
+(** "App-market" elements — the paper's third use case: an operator (or
+    market) wants to certify a third-party element before dropping it
+    into a pipeline. [safe_dpi] passes certification; the buggy variants
+    are rejected with concrete crashing packets. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+(** Scans the first [depth] payload bytes for a one-byte signature,
+    with correct bounds checks. Port 0: clean, port 1: signature hit. *)
+let safe_dpi ~signature ~depth =
+  let b = Bld.create ~name:"SafeDPI" in
+  Bld.set_nports b 2;
+  let len = Bld.load_len b in
+  let off = Bld.reg b ~width:16 in
+  Bld.instr b (Ir.Assign (off, Ir.Move (c16 0)));
+  let head = Bld.new_block b in
+  let body = Bld.new_block b in
+  let clean = Bld.new_block b in
+  let hit = Bld.new_block b in
+  Bld.term b (Ir.Goto head);
+  Bld.select b head;
+  let in_pkt = Bld.cmp b Ir.Ult (Ir.Reg off) (Ir.Reg len) in
+  let in_depth = Bld.cmp b Ir.Ult (Ir.Reg off) (c16 depth) in
+  let more =
+    Bld.assign b ~width:1 (Ir.Binop (Ir.And, Ir.Reg in_pkt, Ir.Reg in_depth))
+  in
+  Bld.term b (Ir.Branch (Ir.Reg more, body, clean));
+  Bld.select b body;
+  let byte = Bld.load b ~off:(Ir.Reg off) ~n:1 in
+  let is_sig = Bld.cmp b Ir.Eq (Ir.Reg byte) (c8 signature) in
+  let cont = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg is_sig, hit, cont));
+  Bld.select b cont;
+  Bld.instr b (Ir.Assign (off, Ir.Binop (Ir.Add, Ir.Reg off, c16 1)));
+  Bld.term b (Ir.Goto head);
+  Bld.select b clean;
+  Bld.term b (Ir.Emit 0);
+  Bld.select b hit;
+  Bld.term b (Ir.Emit 1);
+  Bld.finish b
+
+(** BUG: reads the byte at an attacker-controlled offset (the IP header
+    ident field) without checking it against the packet length. The
+    verifier produces the crashing packet. *)
+let buggy_peek () =
+  let b = Bld.create ~name:"BuggyPeek" in
+  let idx = Bld.load b ~off:(c16 4) ~n:2 in
+  let byte = Bld.load b ~off:(Ir.Reg idx) ~n:1 in
+  (* Use the byte so the load is not dead: stash it in an annotation. *)
+  let wide = Bld.zext b ~width:32 (Ir.Reg byte) in
+  Bld.instr b (Ir.Meta_set (Ir.W1, Ir.Reg wide));
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** BUG: computes a rate quotient dividing by the TTL byte — crashes by
+    division by zero on TTL = 0 packets. *)
+let buggy_quota ~quota =
+  let b = Bld.create ~name:"BuggyQuota" in
+  let ttl = Bld.load b ~off:(c16 8) ~n:1 in
+  let ttl32 = Bld.zext b ~width:32 (Ir.Reg ttl) in
+  let share =
+    Bld.assign b ~width:32 (Ir.Binop (Ir.Udiv, c32 quota, Ir.Reg ttl32))
+  in
+  Bld.instr b (Ir.Meta_set (Ir.W1, Ir.Reg share));
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** BUG: counts packets in an 8-bit counter and asserts it never
+    overflows — the classic counter-overflow the paper lists. The
+    255th packet fails the assertion. *)
+let buggy_counter () =
+  let b = Bld.create ~name:"BuggyCounter" in
+  Bld.declare_store b
+    {
+      Ir.store_name = "c8";
+      key_width = 1;
+      val_width = 8;
+      kind = Ir.Private;
+      default = B.zero 8;
+      init = [];
+    };
+  let n = Bld.kv_read b ~store:"c8" ~key:(c1 false) ~val_width:8 in
+  let not_max = Bld.cmp b Ir.Ne (Ir.Reg n) (c8 0xff) in
+  Bld.instr b (Ir.Assert (Ir.Reg not_max, "packet counter overflow"));
+  let n' = Bld.assign b ~width:8 (Ir.Binop (Ir.Add, Ir.Reg n, c8 1)) in
+  Bld.instr b (Ir.Kv_write ("c8", c1 false, Ir.Reg n'));
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** BUG: NAT variant that asserts the port pool never empties instead
+    of handling exhaustion. *)
+let buggy_nat ~public_ip =
+  let safe = El_stateful.ip_rewriter ~public_ip in
+  (* Rebuild with the drop-on-exhaustion turned into an assert by
+     post-processing the program: replace the [Drop] terminator that
+     follows the exhaustion branch with an [Abort]. The drop block is
+     the only bare Drop in the program. *)
+  let blocks =
+    Array.map
+      (fun (blk : Ir.block) ->
+        match blk.Ir.term with
+        | Ir.Drop -> { blk with Ir.term = Ir.Abort "NAT port pool exhausted" }
+        | _ -> blk)
+      safe.Ir.blocks
+  in
+  { safe with Ir.blocks; Ir.name = "BuggyNAT" }

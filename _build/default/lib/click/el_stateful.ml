@@ -1,0 +1,152 @@
+(** Stateful elements — the "currently experimenting" part of the
+    paper: NetFlow-style accounting and NAT-style rewriting, both built
+    on private key/value stores whose verification goes through the
+    read-returns-anything modelling of {!Vdp_symbex.Kvmodel}. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+(* IP header length in bytes (the ihl field scaled), as a 16-bit reg. *)
+let header_len b =
+  let b0 = Bld.load b ~off:(c16 0) ~n:1 in
+  let ihl = Bld.assign b ~width:8 (Ir.Binop (Ir.And, Ir.Reg b0, c8 0xf)) in
+  let ihl16 = Bld.zext b ~width:16 (Ir.Reg ihl) in
+  Bld.assign b ~width:16 (Ir.Binop (Ir.Shl, Ir.Reg ihl16, c16 2))
+
+(* [hlen + n <= len]? CheckIPHeader only guarantees [hlen <= len], so a
+   payload-less TCP/UDP frame would otherwise crash the port loads —
+   the verifier caught exactly this omission in an earlier revision. *)
+let ports_in_window b ~hlen ~n =
+  let len = Bld.load_len b in
+  let after =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg hlen, c16 n))
+  in
+  Bld.cmp b Ir.Ule (Ir.Reg after) (Ir.Reg len)
+
+(* The 104-bit flow key src|dst|proto|sport|dport; callers must have
+   established that [hlen + 4 <= len]. *)
+let flow_key b ~hlen =
+  let src = Bld.load b ~off:(c16 12) ~n:4 in
+  let dst = Bld.load b ~off:(c16 16) ~n:4 in
+  let proto = Bld.load b ~off:(c16 9) ~n:1 in
+  let ports = Bld.load b ~off:(Ir.Reg hlen) ~n:4 in
+  let k1 = Bld.assign b ~width:64 (Ir.Concat (Ir.Reg src, Ir.Reg dst)) in
+  let k2 = Bld.assign b ~width:72 (Ir.Concat (Ir.Reg k1, Ir.Reg proto)) in
+  Bld.assign b ~width:104 (Ir.Concat (Ir.Reg k2, Ir.Reg ports))
+
+(** NetFlow-style per-flow packet counter. TCP/UDP flows with readable
+    port fields are counted in the private "flows" store; everything
+    passes through on port 0. *)
+let flow_counter () =
+  let b = Bld.create ~name:"FlowCounter" in
+  Bld.declare_store b
+    {
+      Ir.store_name = "flows";
+      key_width = 104;
+      val_width = 32;
+      kind = Ir.Private;
+      default = B.zero 32;
+      init = [];
+    };
+  let proto = Bld.load b ~off:(c16 9) ~n:1 in
+  let is_tcp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 6) in
+  let is_udp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 17) in
+  let hlen = header_len b in
+  let in_window = ports_in_window b ~hlen ~n:4 in
+  let tcp_or_udp =
+    Bld.assign b ~width:1 (Ir.Binop (Ir.Or, Ir.Reg is_tcp, Ir.Reg is_udp))
+  in
+  let countable =
+    Bld.assign b ~width:1
+      (Ir.Binop (Ir.And, Ir.Reg tcp_or_udp, Ir.Reg in_window))
+  in
+  let count_blk = Bld.new_block b and out_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg countable, count_blk, out_blk));
+  Bld.select b count_blk;
+  let key = flow_key b ~hlen in
+  let n = Bld.kv_read b ~store:"flows" ~key:(Ir.Reg key) ~val_width:32 in
+  let n' = Bld.assign b ~width:32 (Ir.Binop (Ir.Add, Ir.Reg n, c32 1)) in
+  Bld.instr b (Ir.Kv_write ("flows", Ir.Reg key, Ir.Reg n'));
+  Bld.term b (Ir.Goto out_blk);
+  Bld.select b out_blk;
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** Source-NAT rewriter. TCP/UDP packets get their source address
+    rewritten to [public_ip] and their source port to a port allocated
+    from the private "nat_next" counter (one mapping per (src, sport)).
+    Port 0: rewritten traffic. Port 1: non-TCP/UDP bypass. When the port
+    pool is exhausted the packet is dropped — the defensive behaviour;
+    see {!El_market.buggy_nat} for the crashing variant the verifier
+    catches. *)
+let ip_rewriter ~public_ip =
+  let b = Bld.create ~name:"IPRewriter" in
+  Bld.set_nports b 2;
+  Bld.declare_store b
+    {
+      Ir.store_name = "nat_map";
+      key_width = 48;
+      val_width = 16;
+      kind = Ir.Private;
+      default = B.zero 16;
+      init = [];
+    };
+  Bld.declare_store b
+    {
+      Ir.store_name = "nat_next";
+      key_width = 1;
+      val_width = 16;
+      kind = Ir.Private;
+      default = B.zero 16;
+      init = [ (B.zero 1, B.of_int ~width:16 1024) ];
+    };
+  let proto = Bld.load b ~off:(c16 9) ~n:1 in
+  let is_tcp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 6) in
+  let is_udp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 17) in
+  let hlen = header_len b in
+  let in_window = ports_in_window b ~hlen ~n:2 in
+  let tcp_or_udp =
+    Bld.assign b ~width:1 (Ir.Binop (Ir.Or, Ir.Reg is_tcp, Ir.Reg is_udp))
+  in
+  let natable =
+    Bld.assign b ~width:1
+      (Ir.Binop (Ir.And, Ir.Reg tcp_or_udp, Ir.Reg in_window))
+  in
+  guard_or_port b (Ir.Reg natable) ~port:1;
+  let src = Bld.load b ~off:(c16 12) ~n:4 in
+  let sport = Bld.load b ~off:(Ir.Reg hlen) ~n:2 in
+  let key = Bld.assign b ~width:48 (Ir.Concat (Ir.Reg src, Ir.Reg sport)) in
+  let mapped = Bld.kv_read b ~store:"nat_map" ~key:(Ir.Reg key) ~val_width:16 in
+  let have = Bld.cmp b Ir.Ne (Ir.Reg mapped) (c16 0) in
+  let use_blk = Bld.new_block b and alloc_blk = Bld.new_block b in
+  let chosen = Bld.reg b ~width:16 in
+  Bld.term b (Ir.Branch (Ir.Reg have, use_blk, alloc_blk));
+  (* Allocate a fresh public port; pool exhausted (wrapped to 0) -> drop. *)
+  Bld.select b alloc_blk;
+  let next =
+    Bld.kv_read b ~store:"nat_next" ~key:(c1 false) ~val_width:16
+  in
+  let exhausted = Bld.cmp b Ir.Eq (Ir.Reg next) (c16 0) in
+  let alloc_ok = Bld.new_block b and dead = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg exhausted, dead, alloc_ok));
+  Bld.select b dead;
+  Bld.term b Ir.Drop;
+  Bld.select b alloc_ok;
+  let next' = Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg next, c16 1)) in
+  Bld.instr b (Ir.Kv_write ("nat_next", c1 false, Ir.Reg next'));
+  Bld.instr b (Ir.Kv_write ("nat_map", Ir.Reg key, Ir.Reg next));
+  Bld.instr b (Ir.Assign (chosen, Ir.Move (Ir.Reg next)));
+  let rewrite = Bld.new_block b in
+  Bld.term b (Ir.Goto rewrite);
+  Bld.select b use_blk;
+  Bld.instr b (Ir.Assign (chosen, Ir.Move (Ir.Reg mapped)));
+  Bld.term b (Ir.Goto rewrite);
+  (* Apply the rewrite; the header checksum is fixed downstream by
+     SetIPChecksum. *)
+  Bld.select b rewrite;
+  Bld.store b ~off:(c16 12) ~n:4 (c32 public_ip);
+  Bld.store b ~off:(Ir.Reg hlen) ~n:2 (Ir.Reg chosen);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b

@@ -1,0 +1,109 @@
+(** Traffic-steering elements: CheckLength, CheckPaint, HashSwitch and
+    RoundRobinSwitch. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+(** [CheckLength n] — packets longer than [n] bytes go to port 1
+    (Click's CheckLength). *)
+let check_length n =
+  let b = Bld.create ~name:"CheckLength" in
+  Bld.set_nports b 2;
+  let len = Bld.load_len b in
+  let ok = Bld.cmp b Ir.Ule (Ir.Reg len) (c16 n) in
+  guard_or_port b (Ir.Reg ok) ~port:1;
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** [CheckPaint c] — packets painted [c] to port 0, others to port 1
+    (Click's CheckPaint; exercises metadata in proofs). *)
+let check_paint color =
+  let b = Bld.create ~name:"CheckPaint" in
+  Bld.set_nports b 2;
+  let c = Bld.meta_get b Ir.Color in
+  let hit = Bld.cmp b Ir.Eq (Ir.Reg c) (c8 color) in
+  guard_or_port b (Ir.Reg hit) ~port:1;
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(** [HashSwitch (offset, length, nports)] — hashes [length] packet
+    bytes starting at [offset] (XOR-fold) and steers to one of
+    [nports] ports. Packets too short for the hashed region go to
+    port 0, like Click's HashSwitch chattering. *)
+let hash_switch ~offset ~length ~nports =
+  if nports < 1 then invalid_arg "HashSwitch: nports < 1";
+  let b = Bld.create ~name:"HashSwitch" in
+  Bld.set_nports b nports;
+  let len = Bld.load_len b in
+  let reach = Bld.cmp b Ir.Ule (c16 (offset + length)) (Ir.Reg len) in
+  guard_or_port b (Ir.Reg reach) ~port:0;
+  let acc = Bld.reg b ~width:8 in
+  Bld.instr b (Ir.Assign (acc, Ir.Move (c8 0)));
+  for i = 0 to length - 1 do
+    let byte = Bld.load b ~off:(c16 (offset + i)) ~n:1 in
+    Bld.instr b
+      (Ir.Assign (acc, Ir.Binop (Ir.Xor, Ir.Reg acc, Ir.Reg byte)))
+  done;
+  (* Port = acc mod nports, computed by compare chain (nports small). *)
+  let modulo =
+    Bld.assign b ~width:8 (Ir.Binop (Ir.Urem, Ir.Reg acc, c8 nports))
+  in
+  let rec dispatch p =
+    if p >= nports - 1 then Bld.term b (Ir.Emit (nports - 1))
+    else begin
+      let hit = Bld.cmp b Ir.Eq (Ir.Reg modulo) (c8 p) in
+      let hit_blk = Bld.new_block b and next_blk = Bld.new_block b in
+      Bld.term b (Ir.Branch (Ir.Reg hit, hit_blk, next_blk));
+      Bld.select b hit_blk;
+      Bld.term b (Ir.Emit p);
+      Bld.select b next_blk;
+      dispatch (p + 1)
+    end
+  in
+  dispatch 0;
+  Bld.finish b
+
+(** [RoundRobinSwitch nports] — cycles packets across output ports
+    using a private counter. For the verifier this is a stateful
+    element whose store read steers control flow: every port is
+    reachable under the read-returns-anything model. *)
+let round_robin_switch ~nports =
+  if nports < 1 then invalid_arg "RoundRobinSwitch: nports < 1";
+  let b = Bld.create ~name:"RoundRobinSwitch" in
+  Bld.set_nports b nports;
+  Bld.declare_store b
+    {
+      Ir.store_name = "rr";
+      key_width = 1;
+      val_width = 16;
+      kind = Ir.Private;
+      default = B.zero 16;
+      init = [];
+    };
+  let cur = Bld.kv_read b ~store:"rr" ~key:(c1 false) ~val_width:16 in
+  let nxt =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg cur, c16 1))
+  in
+  let wrapped =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Urem, Ir.Reg nxt, c16 nports))
+  in
+  Bld.instr b (Ir.Kv_write ("rr", c1 false, Ir.Reg wrapped));
+  let port =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Urem, Ir.Reg cur, c16 nports))
+  in
+  let rec dispatch p =
+    if p >= nports - 1 then Bld.term b (Ir.Emit (nports - 1))
+    else begin
+      let hit = Bld.cmp b Ir.Eq (Ir.Reg port) (c16 p) in
+      let hit_blk = Bld.new_block b and next_blk = Bld.new_block b in
+      Bld.term b (Ir.Branch (Ir.Reg hit, hit_blk, next_blk));
+      Bld.select b hit_blk;
+      Bld.term b (Ir.Emit p);
+      Bld.select b next_blk;
+      dispatch (p + 1)
+    end
+  in
+  dispatch 0;
+  Bld.finish b

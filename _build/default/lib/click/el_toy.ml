@@ -1,0 +1,63 @@
+(** The paper's running examples (Fig. 1 and Fig. 2), phrased over the
+    first packet byte as a signed integer.
+
+    Fig. 1 program: [assert in >= 0; out <- max(in, 10)].
+    Fig. 2 pipeline: [E1] clamps negatives to zero, [E2] is the Fig. 1
+    program; composing them makes E2's crashing segment [e3]
+    infeasible, which is exactly what the verifier must discover. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+open El_util
+
+(* Both elements drop empty frames up front — the paper's toy deals in
+   integers, so the packet-length dimension must not contribute
+   crashes of its own. *)
+let guard_nonempty b =
+  let len = Bld.load_len b in
+  let nonempty = Bld.cmp b Ir.Ult (c16 0) (Ir.Reg len) in
+  guard_or_drop b (Ir.Reg nonempty)
+
+(* out <- if in < 0 then 0 else in  (signed), written back to byte 0. *)
+let e1 () =
+  let b = Bld.create ~name:"ToyE1" in
+  guard_nonempty b;
+  let x = Bld.load b ~off:(c16 0) ~n:1 in
+  let neg = Bld.cmp b Ir.Slt (Ir.Reg x) (c8 0) in
+  let clamped = Bld.select_val b ~width:8 (Ir.Reg neg) (c8 0) (Ir.Reg x) in
+  Bld.store b ~off:(c16 0) ~n:1 (Ir.Reg clamped);
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(* assert in >= 0; out <- if in < 10 then 10 else in. *)
+let e2 () =
+  let b = Bld.create ~name:"ToyE2" in
+  guard_nonempty b;
+  let x = Bld.load b ~off:(c16 0) ~n:1 in
+  let nonneg = Bld.cmp b Ir.Sle (c8 0) (Ir.Reg x) in
+  Bld.instr b (Ir.Assert (Ir.Reg nonneg, "in >= 0"));
+  (* A genuine branch (not a select) so the execution tree mirrors the
+     paper's Fig. 1: one leaf per return. *)
+  let small = Bld.cmp b Ir.Slt (Ir.Reg x) (c8 10) in
+  let clamp = Bld.new_block b and keep = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg small, clamp, keep));
+  Bld.select b clamp;
+  Bld.store b ~off:(c16 0) ~n:1 (c8 10);
+  Bld.term b (Ir.Emit 0);
+  Bld.select b keep;
+  Bld.term b (Ir.Emit 0);
+  Bld.finish b
+
+(* The Fig. 1 stand-alone program is E2 itself. *)
+let fig1 = e2
+
+let e1_element () = Element.make ~name:"e1" ~cls:"ToyE1" ~config:[] (e1 ())
+let e2_element () = Element.make ~name:"e2" ~cls:"ToyE2" ~config:[] (e2 ())
+
+(** The Fig. 2 pipeline: E1 -> E2. Crash-free, although E2 alone is
+    not. *)
+let fig2_pipeline () = Pipeline.linear [ e1_element (); e2_element () ]
+
+(** E2 alone — crashes on any negative input byte. *)
+let e2_pipeline () = Pipeline.linear [ e2_element () ]

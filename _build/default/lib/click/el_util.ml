@@ -1,0 +1,61 @@
+(** Shared IR-building helpers for the element library. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Bld = Vdp_ir.Builder
+
+let c1 b = Ir.Const (B.of_bool b)
+let c8 n = Ir.Const (B.of_int ~width:8 n)
+let c16 n = Ir.Const (B.of_int ~width:16 n)
+let c32 n = Ir.Const (B.of_int ~width:32 n)
+
+(** One's-complement sum of [hlen] bytes starting at packet offset 0,
+    as used by the IPv4 header checksum. [hlen_rv] is a 16-bit rvalue
+    that must be even and within the packet (the caller establishes
+    that; this code will crash on out-of-window loads, which is the
+    point). Returns a 16-bit register holding the folded sum. *)
+let checksum_sum b ~hlen_rv =
+  let sum = Bld.reg b ~width:32 in
+  let off = Bld.reg b ~width:16 in
+  Bld.instr b (Ir.Assign (sum, Ir.Move (c32 0)));
+  Bld.instr b (Ir.Assign (off, Ir.Move (c16 0)));
+  let head = Bld.new_block b in
+  let body = Bld.new_block b in
+  let exit = Bld.new_block b in
+  Bld.term b (Ir.Goto head);
+  Bld.select b head;
+  let continue = Bld.cmp b Ir.Ult (Ir.Reg off) hlen_rv in
+  Bld.term b (Ir.Branch (Ir.Reg continue, body, exit));
+  Bld.select b body;
+  let word = Bld.load b ~off:(Ir.Reg off) ~n:2 in
+  let wide = Bld.zext b ~width:32 (Ir.Reg word) in
+  Bld.instr b (Ir.Assign (sum, Ir.Binop (Ir.Add, Ir.Reg sum, Ir.Reg wide)));
+  Bld.instr b (Ir.Assign (off, Ir.Binop (Ir.Add, Ir.Reg off, c16 2)));
+  Bld.term b (Ir.Goto head);
+  Bld.select b exit;
+  (* Fold the carries twice: 32-bit sum of <= 30 words fits after two folds. *)
+  let fold () =
+    let low = Bld.assign b ~width:32 (Ir.Binop (Ir.And, Ir.Reg sum, c32 0xffff)) in
+    let high = Bld.assign b ~width:32 (Ir.Binop (Ir.Lshr, Ir.Reg sum, c32 16)) in
+    Bld.instr b (Ir.Assign (sum, Ir.Binop (Ir.Add, Ir.Reg low, Ir.Reg high)))
+  in
+  fold ();
+  fold ();
+  Bld.extract b ~hi:15 ~lo:0 (Ir.Reg sum)
+
+(** Branch to a fresh "fail" block that [emit]s to port [port] when
+    [cond] is false; continues in a fresh block otherwise. *)
+let guard_or_port b cond ~port =
+  let ok = Bld.new_block b and bad = Bld.new_block b in
+  Bld.term b (Ir.Branch (cond, ok, bad));
+  Bld.select b bad;
+  Bld.term b (Ir.Emit port);
+  Bld.select b ok
+
+(** Same, but failing packets are dropped. *)
+let guard_or_drop b cond =
+  let ok = Bld.new_block b and bad = Bld.new_block b in
+  Bld.term b (Ir.Branch (cond, ok, bad));
+  Bld.select b bad;
+  Bld.term b Ir.Drop;
+  Bld.select b ok

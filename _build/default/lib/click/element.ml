@@ -1,0 +1,28 @@
+(** Packet-processing elements: a named, configured IR program.
+
+    An element consumes one packet per invocation and either emits it on
+    one of its output ports, drops it, or crashes (which is what the
+    verifier rules out). Elements carry their own store declarations;
+    the pipeline instantiates fresh store state per element instance, so
+    no two elements can ever share mutable state. *)
+
+type t = {
+  name : string;         (** instance name, unique within a pipeline *)
+  cls : string;          (** class name, e.g. "CheckIPHeader" *)
+  config : string list;  (** configuration arguments as written *)
+  program : Vdp_ir.Types.program;
+}
+
+let make ~name ~cls ~config program =
+  let program = Vdp_ir.Validate.check_program program in
+  { name; cls; config; program }
+
+let nports e = e.program.Vdp_ir.Types.nports
+
+(** Key used to share Step-1 summaries between identical elements: two
+    instances of the same class with the same config have the same
+    program, hence the same segments. *)
+let summary_key e = e.cls ^ "(" ^ String.concat "," e.config ^ ")"
+
+let pp fmt e =
+  Format.fprintf fmt "%s :: %s(%s)" e.name e.cls (String.concat ", " e.config)

@@ -1,0 +1,128 @@
+(** Whole-pipeline inlining — the substrate of the {e monolithic}
+    verification baseline the paper compares against.
+
+    Produces a single IR program in which each element's [Emit p] is
+    rewired to a jump to its successor's entry block. Registers and
+    blocks are renumbered; store names are prefixed with the node index
+    so two instances of the same class keep disjoint state (matching the
+    per-instance store instantiation of the runtime). *)
+
+module Ir = Vdp_ir.Types
+
+let prefix_store ni name = Printf.sprintf "n%d.%s" ni name
+
+let inline (pl : Pipeline.t) : Ir.program =
+  let nodes = Pipeline.nodes pl in
+  let n = Array.length nodes in
+  (* Per-node offsets. *)
+  let reg_base = Array.make n 0 in
+  let block_base = Array.make n 0 in
+  let nregs = ref 0 and nblocks = ref 0 in
+  Array.iteri
+    (fun i (node : Pipeline.node) ->
+      let p = node.Pipeline.element.Element.program in
+      reg_base.(i) <- !nregs;
+      block_base.(i) <- !nblocks;
+      nregs := !nregs + Array.length p.Ir.reg_widths;
+      nblocks := !nblocks + Array.length p.Ir.blocks)
+    nodes;
+  let egress = Pipeline.egress_points pl in
+  let negress = Array.length egress in
+  let reg_widths = Array.make !nregs 0 in
+  let blocks = Array.make !nblocks { Ir.instrs = []; term = Ir.Drop } in
+  let stores = ref [] in
+  Array.iteri
+    (fun i (node : Pipeline.node) ->
+      let p = node.Pipeline.element.Element.program in
+      let rb = reg_base.(i) and bb = block_base.(i) in
+      Array.iteri (fun r w -> reg_widths.(rb + r) <- w) p.Ir.reg_widths;
+      List.iter
+        (fun d ->
+          stores :=
+            { d with Ir.store_name = prefix_store i d.Ir.store_name }
+            :: !stores)
+        p.Ir.stores;
+      let rv = function
+        | Ir.Const v -> Ir.Const v
+        | Ir.Reg r -> Ir.Reg (rb + r)
+      in
+      let rhs = function
+        | Ir.Move v -> Ir.Move (rv v)
+        | Ir.Unop (op, v) -> Ir.Unop (op, rv v)
+        | Ir.Binop (op, a, b) -> Ir.Binop (op, rv a, rv b)
+        | Ir.Cmp (op, a, b) -> Ir.Cmp (op, rv a, rv b)
+        | Ir.Select (c, a, b) -> Ir.Select (rv c, rv a, rv b)
+        | Ir.Extract (hi, lo, v) -> Ir.Extract (hi, lo, rv v)
+        | Ir.Concat (a, b) -> Ir.Concat (rv a, rv b)
+        | Ir.Zext (w, v) -> Ir.Zext (w, rv v)
+        | Ir.Sext (w, v) -> Ir.Sext (w, rv v)
+      in
+      let instr = function
+        | Ir.Assign (r, rh) -> Ir.Assign (rb + r, rhs rh)
+        | Ir.Load (r, off, k) -> Ir.Load (rb + r, rv off, k)
+        | Ir.Store (off, v, k) -> Ir.Store (rv off, rv v, k)
+        | Ir.Load_len r -> Ir.Load_len (rb + r)
+        | Ir.Pull k -> Ir.Pull k
+        | Ir.Push k -> Ir.Push k
+        | Ir.Take v -> Ir.Take (rv v)
+        | Ir.Meta_get (r, m) -> Ir.Meta_get (rb + r, m)
+        | Ir.Meta_set (m, v) -> Ir.Meta_set (m, rv v)
+        | Ir.Kv_read (r, s, k) -> Ir.Kv_read (rb + r, prefix_store i s, rv k)
+        | Ir.Kv_write (s, k, v) -> Ir.Kv_write (prefix_store i s, rv k, rv v)
+        | Ir.Assert (c, m) -> Ir.Assert (rv c, m)
+      in
+      let term = function
+        | Ir.Goto l -> Ir.Goto (bb + l)
+        | Ir.Branch (c, t, e) -> Ir.Branch (rv c, bb + t, bb + e)
+        | Ir.Emit p -> (
+          match node.Pipeline.outputs.(p) with
+          | Some (dst, _dport) -> Ir.Goto block_base.(dst)
+          | None -> (
+            match Pipeline.egress_index pl ~node:i ~port:p with
+            | Some e -> Ir.Emit e
+            | None -> assert false))
+        | Ir.Drop -> Ir.Drop
+        | Ir.Abort m -> Ir.Abort m
+      in
+      Array.iteri
+        (fun bi (blk : Ir.block) ->
+          blocks.(bb + bi) <-
+            { Ir.instrs = List.map instr blk.Ir.instrs; term = term blk.Ir.term })
+        p.Ir.blocks)
+    nodes;
+  (* The pipeline entry element must own block 0. *)
+  let entry = Pipeline.entry pl in
+  if block_base.(entry) <> 0 then begin
+    (* Swap the entry node's first block into position 0 is intrusive;
+       instead prepend a trampoline — but block 0 must be the entry, so
+       rotate: simplest correct approach is to append a copy of the
+       blocks with a leading goto. *)
+    let with_tramp = Array.make (Array.length blocks + 1) blocks.(0) in
+    with_tramp.(0) <- { Ir.instrs = []; term = Ir.Goto (block_base.(entry) + 1) };
+    Array.iteri
+      (fun i blk ->
+        let shift = function
+          | Ir.Goto l -> Ir.Goto (l + 1)
+          | Ir.Branch (c, t, e) -> Ir.Branch (c, t + 1, e + 1)
+          | t -> t
+        in
+        with_tramp.(i + 1) <- { blk with Ir.term = shift blk.Ir.term })
+      blocks;
+    Vdp_ir.Validate.check_program
+      {
+        Ir.name = "pipeline-inline";
+        reg_widths;
+        blocks = with_tramp;
+        stores = List.rev !stores;
+        nports = max 1 negress;
+      }
+  end
+  else
+    Vdp_ir.Validate.check_program
+      {
+        Ir.name = "pipeline-inline";
+        reg_widths;
+        blocks;
+        stores = List.rev !stores;
+        nports = max 1 negress;
+      }

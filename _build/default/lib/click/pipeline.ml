@@ -1,0 +1,121 @@
+(** Pipeline graphs: elements wired output-port to input-port.
+
+    Output ports with no edge are {e egress points}: a packet emitted
+    there leaves the pipeline (ToDevice in Click terms). Egress points
+    are numbered in (node, port) order; both the runtime and the
+    verifier use that numbering. *)
+
+type node = {
+  element : Element.t;
+  outputs : (int * int) option array;  (** port -> (dst node, dst port) *)
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+}
+
+let nodes t = t.nodes
+let entry t = t.entry
+let node t i = t.nodes.(i)
+let length t = Array.length t.nodes
+
+(** [create elements edges] — [edges] are
+    [(src_node, src_port, dst_node, dst_port)]. *)
+let create ?(entry = 0) elements edges =
+  let elements = Array.of_list elements in
+  let nodes =
+    Array.map
+      (fun e ->
+        { element = e; outputs = Array.make (Element.nports e) None })
+      elements
+  in
+  List.iter
+    (fun (src, sport, dst, dport) ->
+      if src < 0 || src >= Array.length nodes then
+        invalid_arg "Pipeline.create: bad source node";
+      if dst < 0 || dst >= Array.length nodes then
+        invalid_arg "Pipeline.create: bad destination node";
+      let n = nodes.(src) in
+      if sport < 0 || sport >= Array.length n.outputs then
+        invalid_arg
+          (Printf.sprintf "Pipeline.create: %s has no output port %d"
+             n.element.Element.name sport);
+      if n.outputs.(sport) <> None then
+        invalid_arg
+          (Printf.sprintf "Pipeline.create: output %s[%d] connected twice"
+             n.element.Element.name sport);
+      ignore dport;
+      n.outputs.(sport) <- Some (dst, dport))
+    edges;
+  if entry < 0 || entry >= Array.length nodes then
+    invalid_arg "Pipeline.create: bad entry";
+  { nodes; entry }
+
+(** Chain elements through port 0. *)
+let linear elements =
+  let n = List.length elements in
+  let edges = List.init (n - 1) (fun i -> (i, 0, i + 1, 0)) in
+  create elements edges
+
+(** Egress points: (node, port) pairs with no outgoing edge, in order.
+    The index in this array is the pipeline-level output number. *)
+let egress_points t =
+  let acc = ref [] in
+  Array.iteri
+    (fun ni n ->
+      Array.iteri
+        (fun p edge -> if edge = None then acc := (ni, p) :: !acc)
+        n.outputs)
+    t.nodes;
+  Array.of_list (List.rev !acc)
+
+let egress_index t ~node:ni ~port =
+  let pts = egress_points t in
+  let rec go i =
+    if i >= Array.length pts then None
+    else if pts.(i) = (ni, port) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** Topological check: pipelines must be acyclic (packet ownership moves
+    strictly forward). Returns a topological order or raises. *)
+let topological_order t =
+  let n = Array.length t.nodes in
+  let state = Array.make n 0 (* 0 unvisited, 1 in progress, 2 done *) in
+  let order = ref [] in
+  let rec visit i =
+    match state.(i) with
+    | 1 -> invalid_arg "Pipeline: cycle detected"
+    | 2 -> ()
+    | _ ->
+      state.(i) <- 1;
+      Array.iter
+        (function Some (dst, _) -> visit dst | None -> ())
+        t.nodes.(i).outputs;
+      state.(i) <- 2;
+      order := i :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  !order
+
+let validate t =
+  ignore (topological_order t);
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>pipeline (%d elements):@," (Array.length t.nodes);
+  Array.iteri
+    (fun i n ->
+      Format.fprintf fmt "  [%d] %a" i Element.pp n.element;
+      Array.iteri
+        (fun p -> function
+          | Some (dst, dp) -> Format.fprintf fmt "  [%d]->[%d]%d" p dp dst
+          | None -> Format.fprintf fmt "  [%d]->out" p)
+        n.outputs;
+      Format.fprintf fmt "@,")
+    t.nodes;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,129 @@
+(** The push-mode dataplane runtime: drives packets through a pipeline
+    with the concrete IR interpreter, collecting per-hop traces and
+    aggregate statistics. This is the "fast path" whose behaviour the
+    verifier proves things about. *)
+
+module Ir = Vdp_ir.Types
+module Interp = Vdp_ir.Interp
+module Stores = Vdp_ir.Stores
+module P = Vdp_packet.Packet
+
+type instance = {
+  pipeline : Pipeline.t;
+  stores : Stores.t array;  (** per-node private/static store state *)
+}
+
+let instantiate pipeline =
+  let stores =
+    Array.map
+      (fun (n : Pipeline.node) ->
+        Stores.init n.Pipeline.element.Element.program.Ir.stores)
+      (Pipeline.nodes pipeline)
+  in
+  { pipeline; stores }
+
+let reset inst = Array.iter Stores.reset inst.stores
+
+type step = {
+  node : int;
+  element : string;
+  outcome : Ir.outcome;
+  instrs : int;
+}
+
+type final =
+  | Egress of int  (** pipeline-level output number *)
+  | Dropped_at of int
+  | Crashed_at of int * Ir.crash
+
+type run = {
+  final : final;
+  steps : step list;  (** in execution order *)
+  total_instrs : int;
+}
+
+let max_hops = 1024
+
+(** Push one packet in at [in_port] of the entry element. The packet is
+    mutated in place (clone first if you need the original). *)
+let push ?(in_port = 0) inst pkt =
+  pkt.P.port <- in_port;
+  let steps = ref [] in
+  let total = ref 0 in
+  let rec hop ni hops =
+    if hops > max_hops then
+      (* Cannot happen on validated (acyclic) pipelines. *)
+      invalid_arg "Runtime.push: hop budget exceeded";
+    let n = Pipeline.node inst.pipeline ni in
+    let prog = n.Pipeline.element.Element.program in
+    let r = Interp.run prog inst.stores.(ni) pkt in
+    total := !total + r.Interp.instr_count;
+    steps :=
+      {
+        node = ni;
+        element = n.Pipeline.element.Element.name;
+        outcome = r.Interp.outcome;
+        instrs = r.Interp.instr_count;
+      }
+      :: !steps;
+    match r.Interp.outcome with
+    | Ir.Emitted p -> (
+      match n.Pipeline.outputs.(p) with
+      | Some (dst, dport) ->
+        pkt.P.port <- dport;
+        hop dst (hops + 1)
+      | None -> (
+        match Pipeline.egress_index inst.pipeline ~node:ni ~port:p with
+        | Some e -> Egress e
+        | None -> assert false))
+    | Ir.Dropped -> Dropped_at ni
+    | Ir.Crashed c -> Crashed_at (ni, c)
+  in
+  let final = hop (Pipeline.entry inst.pipeline) 0 in
+  { final; steps = List.rev !steps; total_instrs = !total }
+
+(** {1 Aggregate statistics over a workload} *)
+
+type stats = {
+  mutable sent : int;
+  mutable egressed : int;
+  mutable dropped : int;
+  mutable crashed : int;
+  mutable instrs : int;
+  mutable max_instrs : int;
+}
+
+let fresh_stats () =
+  { sent = 0; egressed = 0; dropped = 0; crashed = 0; instrs = 0;
+    max_instrs = 0 }
+
+let run_workload inst pkts =
+  let st = fresh_stats () in
+  List.iter
+    (fun pkt ->
+      let r = push inst pkt in
+      st.sent <- st.sent + 1;
+      st.instrs <- st.instrs + r.total_instrs;
+      st.max_instrs <- max st.max_instrs r.total_instrs;
+      match r.final with
+      | Egress _ -> st.egressed <- st.egressed + 1
+      | Dropped_at _ -> st.dropped <- st.dropped + 1
+      | Crashed_at _ -> st.crashed <- st.crashed + 1)
+    pkts;
+  st
+
+let pp_final fmt = function
+  | Egress e -> Format.fprintf fmt "egress %d" e
+  | Dropped_at n -> Format.fprintf fmt "dropped at node %d" n
+  | Crashed_at (n, c) ->
+    Format.fprintf fmt "CRASH at node %d: %a" n Ir.pp_crash c
+
+let pp_run fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-16s %a (%d instrs)@," s.element Ir.pp_outcome
+        s.outcome s.instrs)
+    r.steps;
+  Format.fprintf fmt "=> %a, %d instructions total@]" pp_final r.final
+    r.total_instrs

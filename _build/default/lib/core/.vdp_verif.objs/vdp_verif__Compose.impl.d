@@ -1,0 +1,1 @@
+lib/core/compose.ml: Char Hashtbl List Printf String Vdp_bitvec Vdp_ir Vdp_packet Vdp_smt Vdp_symbex

@@ -1,0 +1,1 @@
+lib/core/kvmodel.ml: List Printf String Vdp_bitvec Vdp_smt Vdp_symbex

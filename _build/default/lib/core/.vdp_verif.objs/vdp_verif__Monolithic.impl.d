@@ -1,0 +1,1 @@
+lib/core/monolithic.ml: List Unix Vdp_click Vdp_smt Vdp_symbex

@@ -1,0 +1,1 @@
+lib/core/report.ml: Format List Vdp_packet Vdp_symbex Verifier

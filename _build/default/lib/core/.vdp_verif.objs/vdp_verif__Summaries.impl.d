@@ -1,0 +1,1 @@
+lib/core/summaries.ml: Array Hashtbl Sys Vdp_click Vdp_symbex

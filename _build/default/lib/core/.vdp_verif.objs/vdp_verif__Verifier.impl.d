@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Array Compose Hashtbl List Printf Stdlib Summaries Sys Vdp_bitvec Vdp_click Vdp_ir Vdp_packet Vdp_smt Vdp_symbex

@@ -1,0 +1,180 @@
+(** Step 2 of the paper: stitching per-element segment summaries into
+    whole-pipeline paths {e without re-executing any code}.
+
+    A composite packet state maps the current element's input window
+    back to terms over the pipeline's original input variables
+    ([p\[j\]], [p.len], metadata). Applying a segment (1) renames the
+    segment's internal variables (key/value reads, havoc values) so
+    different positions cannot collide, (2) substitutes the current
+    state into the segment's constraints and transformations, and (3)
+    advances the state by the segment's writes and head/length changes.
+    Feasibility of the accumulated constraint is decided by the
+    bit-vector solver. *)
+
+module B = Vdp_bitvec.Bitvec
+module T = Vdp_smt.Term
+module S = Vdp_symbex.Sstate
+module Engine = Vdp_symbex.Engine
+module Ir = Vdp_ir.Types
+
+type background =
+  | Input of int  (** shift: window offset [j] is input byte [j + shift] *)
+  | Havoc of string * int
+      (** renamed havoc prefix and shift relative to the havoc window *)
+
+type t = {
+  background : background;
+  overrides : (int, T.t) Hashtbl.t;  (** window offset -> byte term *)
+  len : T.t;
+  meta : (Ir.meta * T.t) list;
+  cond : T.t list;        (** accumulated constraints, oldest first *)
+  instr_lo : int;
+  instr_hi : int;
+  summarized : bool;
+  kv_trace : (string * S.kv_event) list;
+      (** (position tag, renamed event), oldest first *)
+}
+
+let initial ?(assume = []) () =
+  {
+    background = Input 0;
+    overrides = Hashtbl.create 16;
+    len = T.var S.len_var 16;
+    meta = [];
+    cond = assume;
+    instr_lo = 0;
+    instr_hi = 0;
+    summarized = false;
+    kv_trace = [];
+  }
+
+(** Byte [j] of the current window as a term over original inputs. *)
+let byte st j =
+  match Hashtbl.find_opt st.overrides j with
+  | Some t -> t
+  | None -> (
+    match st.background with
+    | Input shift ->
+      if j + shift >= 0 then T.var (S.byte_var (j + shift)) 8
+      else T.bv (B.zero 8) (* pushed-in headroom bytes are zeroed *)
+    | Havoc (prefix, shift) ->
+      if j + shift >= 0 then T.var (Printf.sprintf "%s_%d" prefix (j + shift)) 8
+      else T.bv (B.zero 8))
+
+let meta_term st m =
+  match List.assoc_opt m st.meta with
+  | Some t -> t
+  | None -> T.var (S.meta_var m) (Ir.meta_width m)
+
+let cond_term st = T.and_ st.cond
+
+(** Rewrite one of the segment's terms into pipeline-input terms:
+    rename internals with the position tag, then substitute packet
+    variables with the current composite state. *)
+let import st ~tag term =
+  let renamed =
+    T.rename_vars
+      (fun n -> if S.is_internal n then "!" ^ tag ^ n else n)
+      term
+  in
+  T.substitute
+    (fun n ->
+      if n = S.len_var then Some st.len
+      else if String.length n > 3 && String.sub n 0 2 = "p[" then begin
+        match int_of_string_opt (String.sub n 2 (String.length n - 3)) with
+        | Some j -> Some (byte st j)
+        | None -> None
+      end
+      else
+        match
+          List.find_opt (fun m -> S.meta_var m = n) [ Ir.Port; Ir.Color; Ir.W0; Ir.W1 ]
+        with
+        | Some m -> Some (meta_term st m)
+        | None -> None)
+    renamed
+
+(** Apply a segment summary at pipeline position [tag]; returns the
+    state {e after} the segment (meaningful when its outcome emits). *)
+let apply st ~tag (seg : Engine.segment) =
+  let xf = import st ~tag in
+  let out = seg.Engine.out_state in
+  let delta = out.Engine.head_delta in
+  let new_cond = List.map xf seg.Engine.cond in
+  (* Background and carried-over overrides. *)
+  let background, overrides =
+    match out.Engine.havoc with
+    | Some (epoch, head) ->
+      (* All unwritten bytes become the segment's havoc variables,
+         renamed with the position tag; offset j is absolute head+j. *)
+      (Havoc (Printf.sprintf "!%s!hv%d" tag epoch, head), Hashtbl.create 16)
+    | None ->
+      let o' = Hashtbl.create (Hashtbl.length st.overrides) in
+      Hashtbl.iter
+        (fun j v ->
+          let j' = j - delta in
+          if j' >= 0 then Hashtbl.replace o' j' v)
+        st.overrides;
+      let bg =
+        match st.background with
+        | Input shift -> Input (shift + delta)
+        | Havoc (p, shift) -> Havoc (p, shift + delta)
+      in
+      (bg, o')
+  in
+  List.iter
+    (fun (j, term) -> Hashtbl.replace overrides j (xf term))
+    out.Engine.writes;
+  let meta =
+    List.fold_left
+      (fun acc (m, term) -> (m, xf term) :: List.remove_assoc m acc)
+      st.meta out.Engine.meta_out
+  in
+  let kv_new =
+    List.map
+      (fun ev ->
+        let ev' =
+          match ev with
+          | S.Kv_read { store; key; value; cond } ->
+            S.Kv_read
+              { store; key = xf key; value = xf value; cond = xf cond }
+          | S.Kv_write { store; key; value; cond } ->
+            S.Kv_write
+              { store; key = xf key; value = xf value; cond = xf cond }
+        in
+        (tag, ev'))
+      seg.Engine.kv_log
+  in
+  {
+    background;
+    overrides;
+    len = xf out.Engine.len_out;
+    meta;
+    cond = st.cond @ new_cond;
+    instr_lo = st.instr_lo + seg.Engine.instr_lo;
+    instr_hi = st.instr_hi + seg.Engine.instr_hi;
+    summarized = st.summarized || seg.Engine.summarized;
+    kv_trace = st.kv_trace @ kv_new;
+  }
+
+(** Cheap infeasibility filter for pruning during path enumeration. *)
+let plausible st = not (Vdp_smt.Interval.refute (cond_term st))
+
+(** Build a concrete input packet from a solver model of the composite
+    constraint. Bytes the model leaves free default to zero. *)
+let witness_packet (m : Vdp_smt.Model.t) ~max_len =
+  let len =
+    match Vdp_smt.Model.bv_opt m S.len_var with
+    | Some v -> min (B.to_int_trunc v) max_len
+    | None -> 0
+  in
+  let data =
+    String.init len (fun j ->
+        match Vdp_smt.Model.bv_opt m (S.byte_var j) with
+        | Some v -> Char.chr (B.to_int_trunc v land 0xff)
+        | None -> '\000')
+  in
+  let pkt = Vdp_packet.Packet.create data in
+  (match Vdp_smt.Model.bv_opt m (S.meta_var Ir.Port) with
+  | Some v -> pkt.Vdp_packet.Packet.port <- B.to_int_trunc v
+  | None -> ());
+  pkt

@@ -1,0 +1,78 @@
+(** Human-readable verification reports. *)
+
+module P = Vdp_packet.Packet
+
+let pp_violation fmt (v : Verifier.violation) =
+  Format.fprintf fmt "@[<v2>violation at element '%s' (node %d): %a%s%s@,"
+    v.Verifier.element v.Verifier.node Vdp_symbex.Engine.pp_outcome
+    v.Verifier.outcome
+    (if v.Verifier.confirmed then " [reproduced on the runtime]" else "")
+    (if v.Verifier.stateful then " [depends on private state]" else "");
+  (match v.Verifier.witness with
+  | Some pkt ->
+    let shown =
+      if P.length pkt <= 96 then pkt
+      else begin
+        let q = P.clone pkt in
+        P.take q 96;
+        q
+      end
+    in
+    Format.fprintf fmt "witness packet (%d bytes%s):@,%s@," (P.length pkt)
+      (if P.length pkt > 96 then ", first 96 shown" else "")
+      (P.hex_dump shown)
+  | None -> Format.fprintf fmt "no witness packet extracted@,");
+  Format.fprintf fmt "@]"
+
+let pp_verdict fmt = function
+  | Verifier.Proved -> Format.pp_print_string fmt "PROVED"
+  | Verifier.Violated vs ->
+    Format.fprintf fmt "VIOLATED (%d counterexamples)" (List.length vs)
+  | Verifier.Unknown why -> Format.fprintf fmt "UNKNOWN (%s)" why
+
+let pp_stats fmt (s : Verifier.stats) =
+  Format.fprintf fmt
+    "%d elements (%d freshly summarised), %d segments, %d suspects; %d \
+     composite states, %d solver checks (%d refuted, %d unknown); step1 \
+     %.2fs, step2 %.2fs"
+    s.Verifier.elements s.Verifier.unique_summaries s.Verifier.segments_total
+    s.Verifier.suspects s.Verifier.composite_paths s.Verifier.suspect_checks
+    s.Verifier.refuted s.Verifier.unknown_checks s.Verifier.step1_time
+    s.Verifier.step2_time
+
+let pp_report fmt (r : Verifier.report) =
+  Format.fprintf fmt "@[<v>crash freedom: %a@,  %a@," pp_verdict
+    r.Verifier.verdict pp_stats r.Verifier.stats;
+  (match r.Verifier.verdict with
+  | Verifier.Violated vs -> List.iter (pp_violation fmt) vs
+  | _ -> ());
+  Format.fprintf fmt "@]"
+
+let pp_bound_report fmt (r : Verifier.bound_report) =
+  Format.fprintf fmt "@[<v>bounded execution: ";
+  (match r.Verifier.bound with
+  | Some b ->
+    Format.fprintf fmt "<= %d instructions per packet (%s)" b
+      (if r.Verifier.exact then "exact maximum" else "upper bound")
+  | None -> Format.fprintf fmt "no feasible path found");
+  (match r.Verifier.measured with
+  | Some m -> Format.fprintf fmt "; witness measured at %d instructions" m
+  | None -> ());
+  Format.fprintf fmt "@,  %a@," pp_stats r.Verifier.b_stats;
+  (match r.Verifier.witness with
+  | Some pkt ->
+    let shown =
+      if P.length pkt <= 96 then pkt
+      else begin
+        let q = P.clone pkt in
+        P.take q 96;
+        q
+      end
+    in
+    Format.fprintf fmt "  witness packet (%d bytes%s):@,%s@," (P.length pkt)
+      (if P.length pkt > 96 then ", first 96 shown" else "")
+      (P.hex_dump shown)
+  | None -> ());
+  Format.fprintf fmt "@]"
+
+let to_string pp v = Format.asprintf "%a" pp v

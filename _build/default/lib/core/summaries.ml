@@ -1,0 +1,39 @@
+(** Step 1 driver: per-element symbolic execution, cached by element
+    class + configuration. Akin to compositional test generation, each
+    distinct element is symbexed exactly once no matter how many times
+    or where it appears in pipelines. *)
+
+module Engine = Vdp_symbex.Engine
+module Element = Vdp_click.Element
+
+type entry = {
+  result : Engine.result;
+  time : float;  (** seconds spent symbexing this element *)
+}
+
+let cache : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let clear () = Hashtbl.reset cache
+
+let summarize ?(config = Engine.default_config) (e : Element.t) : entry =
+  let key = Element.summary_key e in
+  match Hashtbl.find_opt cache key with
+  | Some entry -> entry
+  | None ->
+    let t0 = Sys.time () in
+    let result = Engine.explore ~config e.Element.program in
+    let entry = { result; time = Sys.time () -. t0 } in
+    Hashtbl.add cache key entry;
+    entry
+
+let is_suspect_crash (seg : Engine.segment) =
+  match seg.Engine.outcome with
+  | Engine.O_crash _ -> true
+  | Engine.O_emit _ | Engine.O_drop -> false
+
+(** Summaries for every node of a pipeline (sharing identical ones). *)
+let of_pipeline ?config (pl : Vdp_click.Pipeline.t) : entry array =
+  Array.map
+    (fun (n : Vdp_click.Pipeline.node) ->
+      summarize ?config n.Vdp_click.Pipeline.element)
+    (Vdp_click.Pipeline.nodes pl)

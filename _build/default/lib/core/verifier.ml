@@ -1,0 +1,442 @@
+(** The dataplane verifier: Step-1 summaries + Step-2 composition.
+
+    Three target properties from the paper:
+    - {b crash freedom} — no input packet can crash the pipeline;
+    - {b bounded execution} — a provable upper bound on instructions
+      executed per packet, with the packet that attains it;
+    - {b reachability} — e.g. "well-formed packets to X are never
+      dropped", checked for a specific configuration.
+
+    Crash-freedom exploration only descends into subtrees that can
+    still reach a suspect segment — the pruning that, combined with
+    per-element summary caching, gives the paper's exponential-to-
+    linear collapse. *)
+
+module B = Vdp_bitvec.Bitvec
+module T = Vdp_smt.Term
+module Solver = Vdp_smt.Solver
+module Engine = Vdp_symbex.Engine
+module S = Vdp_symbex.Sstate
+module Ir = Vdp_ir.Types
+module Click = struct
+  module Pipeline = Vdp_click.Pipeline
+  module Element = Vdp_click.Element
+  module Runtime = Vdp_click.Runtime
+end
+
+type config = {
+  engine : Engine.config;
+  solver_budget : int;  (** conflict budget per composite check *)
+  assume : T.t list;    (** extra assumptions on the input packet *)
+  validate_witnesses : bool;
+  max_composite_paths : int;
+}
+
+let default_config =
+  {
+    engine = Engine.default_config;
+    solver_budget = 2_000_000;
+    assume = [];
+    validate_witnesses = true;
+    max_composite_paths = 2_000_000;
+  }
+
+type violation = {
+  node : int;
+  element : string;
+  outcome : Engine.outcome;
+  cond : T.t list;
+  witness : Vdp_packet.Packet.t option;
+  confirmed : bool;
+      (** the witness reproduced the outcome on the concrete runtime *)
+  stateful : bool;  (** depends on values read from private state *)
+}
+
+type verdict =
+  | Proved
+  | Violated of violation list
+  | Unknown of string
+
+type stats = {
+  mutable elements : int;
+  mutable unique_summaries : int;
+  mutable segments_total : int;
+  mutable suspects : int;
+  mutable composite_paths : int;
+  mutable suspect_checks : int;
+  mutable refuted : int;
+  mutable unknown_checks : int;
+  mutable step1_time : float;
+  mutable step2_time : float;
+}
+
+let fresh_stats () =
+  {
+    elements = 0;
+    unique_summaries = 0;
+    segments_total = 0;
+    suspects = 0;
+    composite_paths = 0;
+    suspect_checks = 0;
+    refuted = 0;
+    unknown_checks = 0;
+    step1_time = 0.;
+    step2_time = 0.;
+  }
+
+type report = {
+  verdict : verdict;
+  stats : stats;
+}
+
+(* {1 Shared plumbing} *)
+
+(* Prefer short witnesses: retry the query under increasingly loose
+   length bounds and keep the first satisfiable one. Purely cosmetic —
+   soundness only needs the final unbounded attempt. *)
+let check_small ~max_conflicts cond =
+  let rec try_bounds = function
+    | [] -> Solver.check ~max_conflicts cond
+    | b :: rest -> (
+      let bounded =
+        T.ule (T.var S.len_var 16) (T.bv_int ~width:16 b) :: cond
+      in
+      match Solver.check ~max_conflicts bounded with
+      | Solver.Sat m -> Solver.Sat m
+      | Solver.Unsat | Solver.Unknown -> try_bounds rest)
+  in
+  try_bounds [ 16; 64; 128 ]
+
+let base_assumptions cfg =
+  T.ule (T.var S.len_var 16)
+    (T.bv_int ~width:16 cfg.engine.Engine.max_len)
+  :: cfg.assume
+
+let step1 cfg (pl : Click.Pipeline.t) stats =
+  let t0 = Sys.time () in
+  let before = Hashtbl.length Summaries.cache in
+  let summaries = Summaries.of_pipeline ~config:cfg.engine pl in
+  stats.step1_time <- Sys.time () -. t0;
+  stats.elements <- Array.length summaries;
+  stats.unique_summaries <- Hashtbl.length Summaries.cache - before;
+  stats.segments_total <-
+    Array.fold_left
+      (fun acc (e : Summaries.entry) ->
+        acc + List.length e.Summaries.result.Engine.segments)
+      0 summaries;
+  summaries
+
+let any_incomplete summaries =
+  Array.exists
+    (fun (e : Summaries.entry) -> e.Summaries.result.Engine.incomplete > 0)
+    summaries
+
+(* Does the runtime reproduce the predicted outcome for this witness? *)
+let validate_crash pl pkt node =
+  let inst = Click.Runtime.instantiate pl in
+  match (Click.Runtime.push inst (Vdp_packet.Packet.clone pkt)).Click.Runtime.final with
+  | Click.Runtime.Crashed_at (n, _) -> n = node
+  | _ -> false
+
+let segment_reads_kv (seg : Engine.segment) =
+  List.exists
+    (function S.Kv_read _ -> true | S.Kv_write _ -> false)
+    seg.Engine.kv_log
+
+(* {1 Crash freedom} *)
+
+let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
+    report =
+  let stats = fresh_stats () in
+  let summaries = step1 config pl stats in
+  let nodes = Click.Pipeline.nodes pl in
+  (* Which nodes can still lead to a suspect segment? *)
+  let n = Array.length nodes in
+  let has_suspect = Array.make n false in
+  let order = Click.Pipeline.topological_order pl in
+  List.iter
+    (fun i ->
+      let own =
+        List.exists Summaries.is_suspect_crash
+          summaries.(i).Summaries.result.Engine.segments
+      in
+      let below =
+        Array.exists
+          (function
+            | Some (dst, _) -> has_suspect.(dst)
+            | None -> false)
+          nodes.(i).Click.Pipeline.outputs
+      in
+      has_suspect.(i) <- own || below)
+    (List.rev order);
+  Array.iter
+    (fun (e : Summaries.entry) ->
+      stats.suspects <-
+        stats.suspects
+        + List.length
+            (List.filter Summaries.is_suspect_crash
+               e.Summaries.result.Engine.segments))
+    summaries;
+  let t0 = Sys.time () in
+  let violations = ref [] in
+  let unknowns = ref 0 in
+  let exception Path_budget in
+  let rec visit node (st : Compose.t) =
+    stats.composite_paths <- stats.composite_paths + 1;
+    if stats.composite_paths > config.max_composite_paths then
+      raise Path_budget;
+    let tag = Printf.sprintf "n%d" node in
+    List.iter
+      (fun (seg : Engine.segment) ->
+        match seg.Engine.outcome with
+        | Engine.O_crash _ ->
+          let st' = Compose.apply st ~tag seg in
+          stats.suspect_checks <- stats.suspect_checks + 1;
+          (match
+             check_small ~max_conflicts:config.solver_budget st'.Compose.cond
+           with
+          | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+          | Solver.Unknown ->
+            stats.unknown_checks <- stats.unknown_checks + 1;
+            incr unknowns
+          | Solver.Sat model ->
+            let witness =
+              Compose.witness_packet model
+                ~max_len:config.engine.Engine.max_len
+            in
+            let stateful =
+              List.exists
+                (fun (_, ev) ->
+                  match ev with S.Kv_read _ -> true | _ -> false)
+                st'.Compose.kv_trace
+              && segment_reads_kv seg
+            in
+            let confirmed =
+              config.validate_witnesses
+              && validate_crash pl witness node
+            in
+            violations :=
+              {
+                node;
+                element =
+                  nodes.(node).Click.Pipeline.element.Click.Element.name;
+                outcome = seg.Engine.outcome;
+                cond = st'.Compose.cond;
+                witness = Some witness;
+                confirmed;
+                stateful;
+              }
+              :: !violations)
+        | Engine.O_drop -> ()
+        | Engine.O_emit p -> (
+          match nodes.(node).Click.Pipeline.outputs.(p) with
+          | None -> ()
+          | Some (dst, _) ->
+            if has_suspect.(dst) then begin
+              let st' = Compose.apply st ~tag seg in
+              if Compose.plausible st' then visit dst st'
+            end))
+      summaries.(node).Summaries.result.Engine.segments
+  in
+  let entry = Click.Pipeline.entry pl in
+  let budget_hit =
+    try
+      if has_suspect.(entry) then
+        visit entry (Compose.initial ~assume:(base_assumptions config) ());
+      false
+    with Path_budget -> true
+  in
+  stats.step2_time <- Sys.time () -. t0;
+  let verdict =
+    if !violations <> [] then Violated (List.rev !violations)
+    else if budget_hit then Unknown "composite path budget exceeded"
+    else if !unknowns > 0 then Unknown "solver budget exceeded on some checks"
+    else if any_incomplete summaries then
+      Unknown "element symbolic execution was incomplete"
+    else Proved
+  in
+  { verdict; stats }
+
+(* {1 Bounded execution} *)
+
+type bound_report = {
+  bound : int option;  (** max instructions over feasible paths *)
+  exact : bool;        (** false if any loop summary contributed slack *)
+  witness : Vdp_packet.Packet.t option;
+  measured : int option;
+      (** instructions the runtime actually spent on the witness *)
+  b_stats : stats;
+  b_verdict : verdict;  (** Unknown if exploration was incomplete *)
+}
+
+let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
+    bound_report =
+  let stats = fresh_stats () in
+  let summaries = step1 config pl stats in
+  let nodes = Click.Pipeline.nodes pl in
+  let t0 = Sys.time () in
+  let completed : (Compose.t * bool) list ref = ref [] in
+  (* (final state, ended-in-crash) *)
+  let exception Path_budget in
+  let rec visit node (st : Compose.t) =
+    stats.composite_paths <- stats.composite_paths + 1;
+    if stats.composite_paths > config.max_composite_paths then
+      raise Path_budget;
+    let tag = Printf.sprintf "n%d" node in
+    List.iter
+      (fun (seg : Engine.segment) ->
+        let st' = Compose.apply st ~tag seg in
+        if Compose.plausible st' then
+          match seg.Engine.outcome with
+          | Engine.O_crash _ -> completed := (st', true) :: !completed
+          | Engine.O_drop -> completed := (st', false) :: !completed
+          | Engine.O_emit p -> (
+            match nodes.(node).Click.Pipeline.outputs.(p) with
+            | None -> completed := (st', false) :: !completed
+            | Some (dst, _) -> visit dst st'))
+      summaries.(node).Summaries.result.Engine.segments
+  in
+  let budget_hit =
+    try
+      visit (Click.Pipeline.entry pl)
+        (Compose.initial ~assume:(base_assumptions config) ());
+      false
+    with Path_budget -> true
+  in
+  (* Longest first; the first satisfiable path gives the bound. *)
+  let candidates =
+    List.sort
+      (fun ((a : Compose.t), _) (b, _) ->
+        Stdlib.compare b.Compose.instr_hi a.Compose.instr_hi)
+      !completed
+  in
+  let rec search = function
+    | [] -> (None, false, None)
+    | ((st : Compose.t), _crashed) :: rest -> (
+      stats.suspect_checks <- stats.suspect_checks + 1;
+      match Solver.check ~max_conflicts:config.solver_budget st.Compose.cond with
+      | Solver.Sat model ->
+        ( Some st.Compose.instr_hi,
+          not st.Compose.summarized,
+          Some
+            (Compose.witness_packet model
+               ~max_len:config.engine.Engine.max_len) )
+      | Solver.Unsat ->
+        stats.refuted <- stats.refuted + 1;
+        search rest
+      | Solver.Unknown ->
+        stats.unknown_checks <- stats.unknown_checks + 1;
+        search rest)
+  in
+  let bound, exact, witness = search candidates in
+  let measured =
+    match witness with
+    | Some pkt when config.validate_witnesses ->
+      let inst = Click.Runtime.instantiate pl in
+      let r = Click.Runtime.push inst (Vdp_packet.Packet.clone pkt) in
+      Some r.Click.Runtime.total_instrs
+    | _ -> None
+  in
+  stats.step2_time <- Sys.time () -. t0;
+  let verdict =
+    if budget_hit then Unknown "composite path budget exceeded"
+    else if any_incomplete summaries then
+      Unknown "element symbolic execution was incomplete"
+    else if stats.unknown_checks > 0 then
+      Unknown "solver budget exceeded on some checks"
+    else Proved
+  in
+  {
+    bound;
+    exact;
+    witness;
+    measured;
+    b_stats = stats;
+    b_verdict = verdict;
+  }
+
+(* {1 Reachability} *)
+
+(** [check_reachability ~assume ~bad pl] proves that no input packet
+    satisfying [assume] can end in a way matching [bad]; returns
+    violations (with witnesses) otherwise. *)
+type path_end =
+  | End_egress of int  (** pipeline egress number *)
+  | End_drop of int    (** node index that dropped *)
+  | End_crash of int
+
+let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
+    : report =
+  let stats = fresh_stats () in
+  let summaries = step1 config pl stats in
+  let nodes = Click.Pipeline.nodes pl in
+  let t0 = Sys.time () in
+  let violations = ref [] in
+  let unknowns = ref 0 in
+  let check_end node (st : Compose.t) outcome path_end =
+    if bad path_end then begin
+      stats.suspect_checks <- stats.suspect_checks + 1;
+      match check_small ~max_conflicts:config.solver_budget st.Compose.cond with
+      | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+      | Solver.Unknown ->
+        stats.unknown_checks <- stats.unknown_checks + 1;
+        incr unknowns
+      | Solver.Sat model ->
+        violations :=
+          {
+            node;
+            element = nodes.(node).Click.Pipeline.element.Click.Element.name;
+            outcome;
+            cond = st.Compose.cond;
+            witness =
+              Some
+                (Compose.witness_packet model
+                   ~max_len:config.engine.Engine.max_len);
+            confirmed = false;
+            stateful = false;
+          }
+          :: !violations
+    end
+  in
+  let exception Path_budget in
+  let rec visit node (st : Compose.t) =
+    stats.composite_paths <- stats.composite_paths + 1;
+    if stats.composite_paths > config.max_composite_paths then
+      raise Path_budget;
+    let tag = Printf.sprintf "n%d" node in
+    List.iter
+      (fun (seg : Engine.segment) ->
+        let st' = Compose.apply st ~tag seg in
+        if Compose.plausible st' then
+          match seg.Engine.outcome with
+          | Engine.O_crash _ ->
+            check_end node st' seg.Engine.outcome (End_crash node)
+          | Engine.O_drop ->
+            check_end node st' seg.Engine.outcome (End_drop node)
+          | Engine.O_emit p -> (
+            match nodes.(node).Click.Pipeline.outputs.(p) with
+            | None -> (
+              match Click.Pipeline.egress_index pl ~node ~port:p with
+              | Some e ->
+                check_end node st' seg.Engine.outcome (End_egress e)
+              | None -> ())
+            | Some (dst, _) -> visit dst st'))
+      summaries.(node).Summaries.result.Engine.segments
+  in
+  let budget_hit =
+    try
+      visit (Click.Pipeline.entry pl)
+        (Compose.initial ~assume:(base_assumptions config) ());
+      false
+    with Path_budget -> true
+  in
+  stats.step2_time <- Sys.time () -. t0;
+  let verdict =
+    if !violations <> [] then Violated (List.rev !violations)
+    else if budget_hit then Unknown "composite path budget exceeded"
+    else if !unknowns > 0 then Unknown "solver budget exceeded on some checks"
+    else if any_incomplete summaries then
+      Unknown "element symbolic execution was incomplete"
+    else Proved
+  in
+  { verdict; stats }

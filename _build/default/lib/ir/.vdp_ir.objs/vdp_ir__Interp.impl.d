@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Char List Printf Stores String Types Vdp_bitvec Vdp_packet

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Format List Types Vdp_bitvec

@@ -1,0 +1,1 @@
+lib/ir/stores.ml: Hashtbl List Types Vdp_bitvec

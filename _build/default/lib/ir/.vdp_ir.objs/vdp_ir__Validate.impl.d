@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format List Printf Types Vdp_bitvec

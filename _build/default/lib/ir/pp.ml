@@ -1,0 +1,80 @@
+(** Human-readable program listings (for reports and debugging). *)
+
+module B = Vdp_bitvec.Bitvec
+open Types
+
+let rvalue fmt = function
+  | Const v -> Format.pp_print_string fmt (B.to_string_hex v)
+  | Reg r -> Format.fprintf fmt "r%d" r
+
+let unop_name = function Not -> "not" | Neg -> "neg"
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Udiv -> "udiv"
+  | Urem -> "urem" | Sdiv -> "sdiv" | Srem -> "srem" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ne -> "ne" | Ult -> "ult" | Ule -> "ule"
+  | Slt -> "slt" | Sle -> "sle"
+
+let meta_name = function
+  | Port -> "port" | Color -> "color" | W0 -> "w0" | W1 -> "w1"
+
+let rhs fmt = function
+  | Move v -> rvalue fmt v
+  | Unop (op, v) -> Format.fprintf fmt "%s %a" (unop_name op) rvalue v
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "%s %a, %a" (binop_name op) rvalue a rvalue b
+  | Cmp (op, a, b) ->
+    Format.fprintf fmt "%s %a, %a" (cmpop_name op) rvalue a rvalue b
+  | Select (c, a, b) ->
+    Format.fprintf fmt "select %a, %a, %a" rvalue c rvalue a rvalue b
+  | Extract (hi, lo, v) -> Format.fprintf fmt "%a[%d:%d]" rvalue v hi lo
+  | Concat (a, b) -> Format.fprintf fmt "concat %a, %a" rvalue a rvalue b
+  | Zext (w, v) -> Format.fprintf fmt "zext%d %a" w rvalue v
+  | Sext (w, v) -> Format.fprintf fmt "sext%d %a" w rvalue v
+
+let instr fmt = function
+  | Assign (r, rh) -> Format.fprintf fmt "r%d := %a" r rhs rh
+  | Load (r, off, n) ->
+    Format.fprintf fmt "r%d := pkt[%a .. +%d]" r rvalue off n
+  | Store (off, v, n) ->
+    Format.fprintf fmt "pkt[%a .. +%d] := %a" rvalue off n rvalue v
+  | Load_len r -> Format.fprintf fmt "r%d := pkt.len" r
+  | Pull n -> Format.fprintf fmt "pull %d" n
+  | Push n -> Format.fprintf fmt "push %d" n
+  | Take v -> Format.fprintf fmt "take %a" rvalue v
+  | Meta_get (r, m) -> Format.fprintf fmt "r%d := meta.%s" r (meta_name m)
+  | Meta_set (m, v) -> Format.fprintf fmt "meta.%s := %a" (meta_name m) rvalue v
+  | Kv_read (r, s, k) -> Format.fprintf fmt "r%d := %s[%a]" r s rvalue k
+  | Kv_write (s, k, v) -> Format.fprintf fmt "%s[%a] := %a" s rvalue k rvalue v
+  | Assert (c, m) -> Format.fprintf fmt "assert %a  ; %s" rvalue c m
+
+let terminator fmt = function
+  | Goto l -> Format.fprintf fmt "goto b%d" l
+  | Branch (c, t, e) -> Format.fprintf fmt "br %a ? b%d : b%d" rvalue c t e
+  | Emit p -> Format.fprintf fmt "emit %d" p
+  | Drop -> Format.pp_print_string fmt "drop"
+  | Abort m -> Format.fprintf fmt "abort %S" m
+
+let program fmt (p : program) =
+  Format.fprintf fmt "@[<v>program %s (%d regs, %d blocks, %d ports)@,"
+    p.name (Array.length p.reg_widths) (Array.length p.blocks) p.nports;
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "store %s : bv%d -> bv%d (%s, %d entries)@,"
+        d.store_name d.key_width d.val_width
+        (match d.kind with Static -> "static" | Private -> "private")
+        (List.length d.init))
+    p.stores;
+  Array.iteri
+    (fun i blk ->
+      Format.fprintf fmt "b%d:@," i;
+      List.iter (fun ins -> Format.fprintf fmt "  %a@," instr ins) blk.instrs;
+      Format.fprintf fmt "  %a@," terminator blk.term)
+    p.blocks;
+  Format.fprintf fmt "@]"
+
+let program_to_string p = Format.asprintf "%a" program p

@@ -1,0 +1,65 @@
+(** Runtime state of an element's key/value stores.
+
+    Static stores are immutable views of their declared contents; the
+    interpreter rejects writes to them. Private stores start from their
+    declared contents and evolve as packets are processed. *)
+
+module B = Vdp_bitvec.Bitvec
+open Types
+
+type store = {
+  decl : store_decl;
+  table : (B.t, B.t) Hashtbl.t;
+}
+
+type t = (string, store) Hashtbl.t
+
+let init (decls : store_decl list) : t =
+  let state = Hashtbl.create (max 4 (List.length decls)) in
+  List.iter
+    (fun decl ->
+      if Hashtbl.mem state decl.store_name then
+        invalid_arg ("Stores.init: duplicate store " ^ decl.store_name);
+      let table = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          if B.width k <> decl.key_width || B.width v <> decl.val_width then
+            invalid_arg ("Stores.init: width mismatch in " ^ decl.store_name);
+          Hashtbl.replace table k v)
+        decl.init;
+      Hashtbl.replace state decl.store_name { decl; table })
+    decls;
+  state
+
+let find state name =
+  match Hashtbl.find_opt state name with
+  | Some s -> s
+  | None -> invalid_arg ("Stores: undeclared store " ^ name)
+
+let read state name key =
+  let s = find state name in
+  if B.width key <> s.decl.key_width then
+    invalid_arg ("Stores.read: key width mismatch in " ^ name);
+  match Hashtbl.find_opt s.table key with
+  | Some v -> v
+  | None -> s.decl.default
+
+let write state name key value =
+  let s = find state name in
+  (match s.decl.kind with
+  | Static -> invalid_arg ("Stores.write: store is static: " ^ name)
+  | Private -> ());
+  if B.width key <> s.decl.key_width || B.width value <> s.decl.val_width
+  then invalid_arg ("Stores.write: width mismatch in " ^ name);
+  Hashtbl.replace s.table key value
+
+let reset state =
+  Hashtbl.iter
+    (fun _ s ->
+      Hashtbl.reset s.table;
+      List.iter (fun (k, v) -> Hashtbl.replace s.table k v) s.decl.init)
+    state
+
+let entries state name =
+  let s = find state name in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table []

@@ -1,0 +1,1 @@
+lib/packet/arp.ml: Bytes Char Ethernet Ipv4 Packet String

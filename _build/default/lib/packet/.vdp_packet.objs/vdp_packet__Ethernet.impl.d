@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Bytes Char List Packet Printf String

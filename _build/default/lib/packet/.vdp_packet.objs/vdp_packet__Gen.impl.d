@@ -1,0 +1,1 @@
+lib/packet/gen.ml: Array Char Ethernet Ipv4 List Packet Random String Tcp Udp

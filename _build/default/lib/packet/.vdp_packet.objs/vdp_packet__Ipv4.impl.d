@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Bytes Char Checksum Packet Printf String

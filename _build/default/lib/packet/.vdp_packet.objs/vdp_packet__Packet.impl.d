@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Buffer Bytes Char Format Printf String

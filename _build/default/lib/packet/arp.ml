@@ -1,0 +1,50 @@
+(** ARP over Ethernet/IPv4. *)
+
+let packet_len = 28
+let op_request = 1
+let op_reply = 2
+
+type t = {
+  op : int;
+  sender_mac : Ethernet.mac;
+  sender_ip : Ipv4.addr;
+  target_mac : Ethernet.mac;
+  target_ip : Ipv4.addr;
+}
+
+let parse ?(off = 0) (p : Packet.t) =
+  if Packet.length p < off + packet_len then None
+  else if
+    Packet.get_be p off 2 <> 1 (* htype ethernet *)
+    || Packet.get_be p (off + 2) 2 <> Ethernet.ethertype_ipv4
+    || Packet.get_u8 p (off + 4) <> 6
+    || Packet.get_u8 p (off + 5) <> 4
+  then None
+  else
+    Some
+      {
+        op = Packet.get_be p (off + 6) 2;
+        sender_mac = String.init 6 (fun i -> Char.chr (Packet.get_u8 p (off + 8 + i)));
+        sender_ip = Packet.get_be p (off + 14) 4;
+        target_mac = String.init 6 (fun i -> Char.chr (Packet.get_u8 p (off + 18 + i)));
+        target_ip = Packet.get_be p (off + 24) 4;
+      }
+
+let build t =
+  let b = Bytes.make packet_len '\000' in
+  let be2 off v =
+    Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b (off + 1) (Char.chr (v land 0xff))
+  in
+  be2 0 1;
+  be2 2 Ethernet.ethertype_ipv4;
+  Bytes.set b 4 '\006';
+  Bytes.set b 5 '\004';
+  be2 6 t.op;
+  Bytes.blit_string t.sender_mac 0 b 8 6;
+  be2 14 ((t.sender_ip lsr 16) land 0xffff);
+  be2 16 (t.sender_ip land 0xffff);
+  Bytes.blit_string t.target_mac 0 b 18 6;
+  be2 24 ((t.target_ip lsr 16) land 0xffff);
+  be2 26 (t.target_ip land 0xffff);
+  Bytes.to_string b

@@ -1,0 +1,85 @@
+(** Synthetic traffic generation: well-formed flows for throughput
+    benchmarks and adversarial frames for robustness tests. Replaces the
+    paper's testbed traffic sources. *)
+
+type flow = {
+  src_ip : Ipv4.addr;
+  dst_ip : Ipv4.addr;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+let random_mac st =
+  String.init 6 (fun i ->
+      (* Clear the multicast bit of the first byte. *)
+      let b = Random.State.int st 256 in
+      Char.chr (if i = 0 then b land 0xfe else b))
+
+let random_flow st =
+  {
+    src_ip = Random.State.int st 0x3fffffff * 4;
+    dst_ip = Random.State.int st 0x3fffffff * 4;
+    src_port = 1024 + Random.State.int st 60000;
+    dst_port = 1 + Random.State.int st 1023;
+    proto = (if Random.State.bool st then Ipv4.proto_udp else Ipv4.proto_tcp);
+  }
+
+(** A well-formed Ethernet+IPv4+UDP/TCP frame for [flow]. *)
+let frame_of_flow ?(ttl = 64) ?(payload = "payload!") flow =
+  let l4 =
+    if flow.proto = Ipv4.proto_udp then
+      Udp.header ~src_port:flow.src_port ~dst_port:flow.dst_port
+        ~payload_len:(String.length payload)
+    else
+      Tcp.header ~src_port:flow.src_port ~dst_port:flow.dst_port ~seq:1
+        ~ack:0 ~flags:Tcp.flag_ack
+  in
+  let ip =
+    Ipv4.header ~tos:0
+      ~total_len:(Ipv4.min_header_len + String.length l4 + String.length payload)
+      ~ident:0 ~ttl ~proto:flow.proto ~src:flow.src_ip ~dst:flow.dst_ip ()
+  in
+  let eth =
+    Ethernet.header ~dst:(Ethernet.mac_of_string "02:00:00:00:00:01")
+      ~src:(Ethernet.mac_of_string "02:00:00:00:00:02")
+      ~ethertype:Ethernet.ethertype_ipv4
+  in
+  Packet.create (eth ^ ip ^ l4 ^ payload)
+
+(** A frame whose IP header carries [options] (raw bytes). *)
+let frame_with_options ?(ttl = 64) ?(payload = "xy") ~options flow =
+  let ip =
+    Ipv4.header_with_options ~tos:0 ~ident:0 ~ttl ~proto:flow.proto
+      ~src:flow.src_ip ~dst:flow.dst_ip ~options
+      ~payload_len:(String.length payload) ()
+  in
+  let eth =
+    Ethernet.header ~dst:(Ethernet.mac_of_string "02:00:00:00:00:01")
+      ~src:(Ethernet.mac_of_string "02:00:00:00:00:02")
+      ~ethertype:Ethernet.ethertype_ipv4
+  in
+  Packet.create (eth ^ ip ^ payload)
+
+(** Uniform random bytes: almost always malformed. *)
+let random_frame ?(min_len = 1) ?(max_len = 128) st =
+  let len = min_len + Random.State.int st (max_len - min_len + 1) in
+  Packet.create (String.init len (fun _ -> Char.chr (Random.State.int st 256)))
+
+(** Mutate one byte of a well-formed frame — the classic fuzz step. *)
+let corrupt st p =
+  let p = Packet.clone p in
+  if Packet.length p > 0 then begin
+    let off = Random.State.int st (Packet.length p) in
+    Packet.set_u8 p off (Random.State.int st 256)
+  end;
+  p
+
+(** An infinite-ish workload: [n] frames drawn from [nflows] flows, a
+    fraction [corrupt_ratio] of them fuzzed. *)
+let workload ?(seed = 42) ?(nflows = 16) ?(corrupt_ratio = 0.0) n =
+  let st = Random.State.make [| seed |] in
+  let flows = Array.init nflows (fun _ -> random_flow st) in
+  List.init n (fun i ->
+      let p = frame_of_flow flows.(i mod nflows) in
+      if Random.State.float st 1.0 < corrupt_ratio then corrupt st p else p)

@@ -1,0 +1,104 @@
+exception Out_of_bounds of string
+
+type t = {
+  buf : Bytes.t;
+  mutable head : int;
+  mutable len : int;
+  mutable port : int;
+  mutable color : int;
+  mutable w0 : int;
+  mutable w1 : int;
+}
+
+let default_headroom = 64
+let max_frame = 2048
+
+let of_bytes ?(headroom = default_headroom) data =
+  let len = Bytes.length data in
+  if len > max_frame then raise (Out_of_bounds "create: frame too large");
+  let buf = Bytes.make (headroom + max_frame) '\000' in
+  Bytes.blit data 0 buf headroom len;
+  { buf; head = headroom; len; port = 0; color = 0; w0 = 0; w1 = 0 }
+
+let create ?headroom data = of_bytes ?headroom (Bytes.of_string data)
+let length p = p.len
+
+let clone p =
+  {
+    buf = Bytes.copy p.buf;
+    head = p.head;
+    len = p.len;
+    port = p.port;
+    color = p.color;
+    w0 = p.w0;
+    w1 = p.w1;
+  }
+
+let content p = Bytes.sub_string p.buf p.head p.len
+
+let check p off n what =
+  if off < 0 || n < 0 || off + n > p.len then
+    raise
+      (Out_of_bounds
+         (Printf.sprintf "%s: offset %d size %d in packet of length %d" what
+            off n p.len))
+
+let get_u8 p off =
+  check p off 1 "get_u8";
+  Char.code (Bytes.get p.buf (p.head + off))
+
+let set_u8 p off v =
+  check p off 1 "set_u8";
+  Bytes.set p.buf (p.head + off) (Char.chr (v land 0xff))
+
+let get_be p off n =
+  check p off n "get_be";
+  if n > 7 then invalid_arg "Packet.get_be: more than 7 bytes";
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := (!acc lsl 8) lor Char.code (Bytes.get p.buf (p.head + off + i))
+  done;
+  !acc
+
+let set_be p off n v =
+  check p off n "set_be";
+  if n > 7 then invalid_arg "Packet.set_be: more than 7 bytes";
+  for i = 0 to n - 1 do
+    Bytes.set p.buf
+      (p.head + off + i)
+      (Char.chr ((v lsr (8 * (n - 1 - i))) land 0xff))
+  done
+
+let blit_string p off s =
+  check p off (String.length s) "blit_string";
+  Bytes.blit_string s 0 p.buf (p.head + off) (String.length s)
+
+let pull p n =
+  if n < 0 || n > p.len then
+    raise (Out_of_bounds (Printf.sprintf "pull %d of %d" n p.len));
+  p.head <- p.head + n;
+  p.len <- p.len - n
+
+let push p n =
+  if n < 0 || n > p.head then
+    raise (Out_of_bounds (Printf.sprintf "push %d with headroom %d" n p.head));
+  p.head <- p.head - n;
+  p.len <- p.len + n;
+  Bytes.fill p.buf p.head n '\000'
+
+let take p n =
+  if n < 0 || n > p.len then
+    raise (Out_of_bounds (Printf.sprintf "take %d of %d" n p.len));
+  p.len <- n
+
+let hex_dump p =
+  let b = Buffer.create (3 * p.len) in
+  for i = 0 to p.len - 1 do
+    if i > 0 && i mod 16 = 0 then Buffer.add_char b '\n'
+    else if i > 0 then Buffer.add_char b ' ';
+    Buffer.add_string b (Printf.sprintf "%02x" (get_u8 p i))
+  done;
+  Buffer.contents b
+
+let pp fmt p =
+  Format.fprintf fmt "packet[len=%d port=%d color=%d]" p.len p.port p.color

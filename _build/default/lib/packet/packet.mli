@@ -1,0 +1,58 @@
+(** Mutable packet buffers with headroom, as handled by the dataplane.
+
+    A packet is a window [head .. head+len) into a fixed buffer. Encap
+    elements {!push} headers in front (consuming headroom); decap
+    elements {!pull} them off. All offsets in the accessors are relative
+    to the current head. Out-of-window access raises {!Out_of_bounds} —
+    the concrete counterpart of the crashes the verifier hunts for. *)
+
+exception Out_of_bounds of string
+
+type t = {
+  buf : Bytes.t;
+  mutable head : int;
+  mutable len : int;
+  mutable port : int;   (** input port annotation *)
+  mutable color : int;  (** paint annotation *)
+  mutable w0 : int;     (** scratch annotation (e.g. next-hop) *)
+  mutable w1 : int;     (** scratch annotation *)
+}
+
+val default_headroom : int
+val max_frame : int
+(** Largest frame the dataplane accepts (buffer capacity minus headroom). *)
+
+val create : ?headroom:int -> string -> t
+(** [create data] — a packet whose payload is [data]. *)
+
+val of_bytes : ?headroom:int -> Bytes.t -> t
+val length : t -> int
+val clone : t -> t
+val content : t -> string
+(** The current window as a string. *)
+
+(** {1 Byte access (offsets relative to head)} *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_be : t -> int -> int -> int
+(** [get_be p off n] — big-endian integer of [n <= 7] bytes. *)
+
+val set_be : t -> int -> int -> int -> unit
+(** [set_be p off n v]. *)
+
+val blit_string : t -> int -> string -> unit
+
+(** {1 Head manipulation} *)
+
+val pull : t -> int -> unit
+(** Remove [n] bytes from the front. Raises if [n > len]. *)
+
+val push : t -> int -> unit
+(** Prepend [n] (zeroed) bytes. Raises if headroom is exhausted. *)
+
+val take : t -> int -> unit
+(** Truncate the packet to [n] bytes. Raises if [n > len]. *)
+
+val pp : Format.formatter -> t -> unit
+val hex_dump : t -> string

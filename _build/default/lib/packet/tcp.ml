@@ -1,0 +1,51 @@
+(** TCP headers (the fields the dataplane elements look at). *)
+
+let min_header_len = 20
+
+let flag_fin = 0x01
+let flag_syn = 0x02
+let flag_rst = 0x04
+let flag_ack = 0x10
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  data_off : int;  (** words *)
+  flags : int;
+  window : int;
+}
+
+let parse ?(off = 0) (p : Packet.t) =
+  if Packet.length p < off + min_header_len then None
+  else
+    Some
+      {
+        src_port = Packet.get_be p off 2;
+        dst_port = Packet.get_be p (off + 2) 2;
+        seq = Packet.get_be p (off + 4) 4;
+        ack = Packet.get_be p (off + 8) 4;
+        data_off = Packet.get_u8 p (off + 12) lsr 4;
+        flags = Packet.get_u8 p (off + 13);
+        window = Packet.get_be p (off + 14) 2;
+      }
+
+let header ~src_port ~dst_port ~seq ~ack ~flags =
+  let b = Bytes.make min_header_len '\000' in
+  let be2 off v =
+    Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b (off + 1) (Char.chr (v land 0xff))
+  in
+  let be4 off v =
+    be2 off ((v lsr 16) land 0xffff);
+    be2 (off + 2) (v land 0xffff)
+  in
+  be2 0 src_port;
+  be2 2 dst_port;
+  be4 4 seq;
+  be4 8 ack;
+  Bytes.set b 12 (Char.chr 0x50) (* data offset 5 words *);
+  Bytes.set b 13 (Char.chr (flags land 0xff));
+  be2 14 0xffff;
+  Bytes.to_string b

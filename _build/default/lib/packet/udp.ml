@@ -1,0 +1,30 @@
+(** UDP headers. *)
+
+let header_len = 8
+
+type t = { src_port : int; dst_port : int; length : int; checksum : int }
+
+let parse ?(off = 0) (p : Packet.t) =
+  if Packet.length p < off + header_len then None
+  else
+    Some
+      {
+        src_port = Packet.get_be p off 2;
+        dst_port = Packet.get_be p (off + 2) 2;
+        length = Packet.get_be p (off + 4) 2;
+        checksum = Packet.get_be p (off + 6) 2;
+      }
+
+let header ~src_port ~dst_port ~payload_len =
+  let length = header_len + payload_len in
+  let b = Bytes.create header_len in
+  Bytes.set b 0 (Char.chr ((src_port lsr 8) land 0xff));
+  Bytes.set b 1 (Char.chr (src_port land 0xff));
+  Bytes.set b 2 (Char.chr ((dst_port lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (dst_port land 0xff));
+  Bytes.set b 4 (Char.chr ((length lsr 8) land 0xff));
+  Bytes.set b 5 (Char.chr (length land 0xff));
+  (* Checksum 0 = "not computed", legal for UDP over IPv4. *)
+  Bytes.set b 6 '\000';
+  Bytes.set b 7 '\000';
+  Bytes.to_string b

@@ -1,0 +1,1 @@
+lib/smt/bitblast.ml: Array Hashtbl List Model Sat Sort Term Vdp_bitvec

@@ -1,0 +1,1 @@
+lib/smt/eval.ml: Array Hashtbl Model Term Value Vdp_bitvec

@@ -1,0 +1,1 @@
+lib/smt/interval.ml: Array Hashtbl List Term Vdp_bitvec

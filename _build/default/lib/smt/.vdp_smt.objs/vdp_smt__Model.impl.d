@@ -1,0 +1,1 @@
+lib/smt/model.ml: Format Hashtbl List Option String Vdp_bitvec

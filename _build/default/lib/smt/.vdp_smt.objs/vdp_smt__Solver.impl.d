@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Bitblast Eval Format Interval Model Printf Sat Term

@@ -1,0 +1,1 @@
+lib/smt/term.ml: Array Format Hashtbl List Printf Set Sort Stdlib String Vdp_bitvec

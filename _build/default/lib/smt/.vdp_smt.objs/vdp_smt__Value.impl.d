@@ -1,0 +1,1 @@
+lib/smt/value.ml: Format Vdp_bitvec

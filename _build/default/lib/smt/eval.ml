@@ -1,0 +1,68 @@
+(** Evaluate a term to a concrete value under a model.
+
+    Total on closed-under-model terms: unassigned variables take the
+    model's defaults (zero / false). Used both by the concrete packet
+    interpreter indirectly and by the solver to double-check every model
+    it emits against the original (pre-bit-blasting) constraints. *)
+
+module B = Vdp_bitvec.Bitvec
+
+let eval (m : Model.t) (t : Term.t) : Value.t =
+  let memo : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go (t : Term.t) : Value.t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+      let v = compute t in
+      Hashtbl.add memo t.id v;
+      v
+  and bool_of t = Value.to_bool (go t)
+  and bv_of t = Value.to_bv (go t)
+  and compute (t : Term.t) : Value.t =
+    match t.node with
+    | True -> Vbool true
+    | False -> Vbool false
+    | Bool_var s -> Vbool (Model.bool m s)
+    | Not a -> Vbool (not (bool_of a))
+    | And ts -> Vbool (Array.for_all bool_of ts)
+    | Or ts -> Vbool (Array.exists bool_of ts)
+    | Eq (a, b) -> Vbool (Value.equal (go a) (go b))
+    | Ite (c, a, b) -> if bool_of c then go a else go b
+    | Bv_const v -> Vbv v
+    | Bv_var (s, w) -> Vbv (Model.bv m s ~width:w)
+    | Bv_bin (op, a, b) ->
+      let va = bv_of a and vb = bv_of b in
+      Vbv
+        (match op with
+        | Badd -> B.add va vb
+        | Bsub -> B.sub va vb
+        | Bmul -> B.mul va vb
+        | Budiv -> B.udiv va vb
+        | Burem -> B.urem va vb
+        | Bsdiv -> B.sdiv va vb
+        | Bsrem -> B.srem va vb
+        | Band -> B.logand va vb
+        | Bor -> B.logor va vb
+        | Bxor -> B.logxor va vb
+        | Bshl -> B.shl_bv va vb
+        | Blshr -> B.lshr_bv va vb
+        | Bashr -> B.ashr_bv va vb)
+    | Bv_not a -> Vbv (B.lognot (bv_of a))
+    | Bv_neg a -> Vbv (B.neg (bv_of a))
+    | Bv_cmp (op, a, b) ->
+      let va = bv_of a and vb = bv_of b in
+      Vbool
+        (match op with
+        | Ult -> B.ult va vb
+        | Ule -> B.ule va vb
+        | Slt -> B.slt va vb
+        | Sle -> B.sle va vb)
+    | Extract (hi, lo, a) -> Vbv (B.extract ~hi ~lo (bv_of a))
+    | Concat (a, b) -> Vbv (B.concat (bv_of a) (bv_of b))
+    | Zext (w, a) -> Vbv (B.zext w (bv_of a))
+    | Sext (w, a) -> Vbv (B.sext w (bv_of a))
+  in
+  go t
+
+let eval_bool m t = Value.to_bool (eval m t)
+let eval_bv m t = Value.to_bv (eval m t)

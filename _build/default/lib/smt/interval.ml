@@ -1,0 +1,133 @@
+(** Cheap unsigned-interval analysis used to refute constraints without
+    bit-blasting.
+
+    Two services:
+    - [range t] — conservative unsigned bounds of a bit-vector term
+      (widths up to 30 bits; wider terms fall back to the trivial range);
+    - [refute t] — [true] only if the boolean term is definitely
+      unsatisfiable. Sound, far from complete: it intersects the ranges
+      implied by comparison atoms that share a common subject term, which
+      is exactly the shape produced by composing pipeline segments
+      (e.g. [in < 0 && 0 < 0] in the paper's toy example). *)
+
+module B = Vdp_bitvec.Bitvec
+
+let max_tracked_width = 30
+
+let full_range w =
+  if w > max_tracked_width then None else Some (0, (1 lsl w) - 1)
+
+let rec range (t : Term.t) : (int * int) option =
+  let w = Term.width t in
+  if w > max_tracked_width then None
+  else
+    match t.node with
+    | Bv_const v -> let n = B.to_int_trunc v in Some (n, n)
+    | Zext (_, a) ->
+      (match range a with
+      | Some r -> Some r
+      | None -> full_range w)
+    | Extract (hi, 0, a) -> (
+      match range a with
+      | Some (lo', hi') when hi' < 1 lsl (hi + 1) -> Some (lo', hi')
+      | _ -> full_range w)
+    | Bv_bin (Badd, a, b) -> (
+      match (range a, range b) with
+      | Some (la, ha), Some (lb, hb) when ha + hb < 1 lsl w ->
+        Some (la + lb, ha + hb)
+      | _ -> full_range w)
+    | Bv_bin (Bmul, a, b) -> (
+      match (range a, range b) with
+      | Some (la, ha), Some (lb, hb) when ha * hb < 1 lsl w ->
+        Some (la * lb, ha * hb)
+      | _ -> full_range w)
+    | Bv_bin (Band, a, b) -> (
+      let bound t' =
+        match range t' with Some (_, h) -> h | None -> (1 lsl w) - 1
+      in
+      Some (0, min (bound a) (bound b)))
+    | Bv_bin (Blshr, a, b) -> (
+      match (range a, Term.const_value b) with
+      | Some (_, ha), Some k -> Some (0, ha lsr B.to_int_trunc k)
+      | _ -> full_range w)
+    | Bv_bin (Bshl, a, b) -> (
+      match (range a, Term.const_value b) with
+      | Some (lo', hi'), Some k ->
+        let k = B.to_int_trunc k in
+        if k < w && hi' lsl k < 1 lsl w then Some (lo' lsl k, hi' lsl k)
+        else full_range w
+      | _ -> full_range w)
+    | _ -> full_range w
+
+(* Constraint atoms of the shape [cmp subject const] (or symmetric). *)
+type bound = { subject : Term.t; lo : int; hi : int }
+
+let atom_bound (t : Term.t) ~(positive : bool) : bound option =
+  let mk subject lo hi =
+    let w = Term.width subject in
+    if w > max_tracked_width then None else Some { subject; lo; hi }
+  in
+  let max_of t' = (1 lsl Term.width t') - 1 in
+  let as_const t' =
+    match Term.const_value t' with
+    | Some v ->
+      let n = B.to_int_trunc v in
+      if B.width v <= max_tracked_width then Some n else None
+    | None -> None
+  in
+  match (t.node, positive) with
+  | Term.Bv_cmp (op, a, b), _ -> (
+    let flip (op : Term.cmp) : Term.cmp =
+      (* negation: not (a < b) == b <= a *)
+      match op with Ult -> Ule | Ule -> Ult | Slt -> Sle | Sle -> Slt
+    in
+    let op, a, b = if positive then (op, a, b) else (flip op, b, a) in
+    match (op, as_const a, as_const b) with
+    | Term.Ult, None, Some n ->
+      if n = 0 then mk a 1 0 (* empty *) else mk a 0 (n - 1)
+    | Term.Ule, None, Some n -> mk a 0 n
+    | Term.Ult, Some n, None -> mk b (n + 1) (max_of b)
+    | Term.Ule, Some n, None -> mk b n (max_of b)
+    | _ -> None)
+  | Term.Eq (a, b), true -> (
+    match (as_const a, as_const b) with
+    | Some n, None -> mk b n n
+    | None, Some n -> mk a n n
+    | _ -> None)
+  | _ -> None
+
+let refute (t : Term.t) : bool =
+  if Term.is_false t then true
+  else
+    let atoms =
+      match t.node with
+      | Term.And ts -> Array.to_list ts
+      | _ -> [ t ]
+    in
+    let tbl : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+    let contradiction = ref false in
+    let note { subject; lo; hi } =
+      let lo0, hi0 =
+        match Hashtbl.find_opt tbl subject.id with
+        | Some r -> r
+        | None -> (
+          match range subject with
+          | Some r -> r
+          | None -> (0, max_int))
+      in
+      let lo' = max lo lo0 and hi' = min hi hi0 in
+      if lo' > hi' then contradiction := true
+      else Hashtbl.replace tbl subject.id (lo', hi')
+    in
+    List.iter
+      (fun atom ->
+        let atom, positive =
+          match atom.Term.node with
+          | Term.Not inner -> (inner, false)
+          | _ -> (atom, true)
+        in
+        match atom_bound atom ~positive with
+        | Some b -> note b
+        | None -> ())
+      atoms;
+    !contradiction

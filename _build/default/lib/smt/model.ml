@@ -1,0 +1,41 @@
+(** Variable assignments produced by the solver (or built by hand).
+
+    Lookups of unassigned variables default to zero / false, matching the
+    convention that a satisfying model only needs to pin the variables
+    the constraints mention. *)
+
+module B = Vdp_bitvec.Bitvec
+
+type t = {
+  bvs : (string, B.t) Hashtbl.t;
+  bools : (string, bool) Hashtbl.t;
+}
+
+let create () = { bvs = Hashtbl.create 16; bools = Hashtbl.create 16 }
+
+let set_bv m name v = Hashtbl.replace m.bvs name v
+let set_bool m name b = Hashtbl.replace m.bools name b
+
+let bv m name ~width =
+  match Hashtbl.find_opt m.bvs name with
+  | Some v -> v
+  | None -> B.zero width
+
+let bv_opt m name = Hashtbl.find_opt m.bvs name
+let bool m name = Option.value ~default:false (Hashtbl.find_opt m.bools name)
+
+let of_list pairs =
+  let m = create () in
+  List.iter (fun (name, v) -> set_bv m name v) pairs;
+  m
+
+let bindings m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.bvs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "%s = %s@," k (B.to_string_hex v))
+    (bindings m);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,449 @@
+(* CDCL with two-watched literals, VSIDS decision heap, first-UIP clause
+   learning, phase saving and Luby restarts. The structure follows
+   MiniSat; invariants that matter are commented at the point they are
+   maintained. *)
+
+type result = Sat | Unsat | Unknown
+
+let lit v positive = (v * 2) + if positive then 0 else 1
+let lit_not l = l lxor 1
+let lit_var l = l lsr 1
+let lit_is_pos l = l land 1 = 0
+
+(* Growable int vector. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 16 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let len v = v.len
+  let shrink v n = v.len <- n
+end
+
+type clause = {
+  lits : int array;
+  learned : bool;
+  mutable activity : float;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause array;  (* arena; index = clause id *)
+  mutable nclauses : int;
+  mutable watches : Vec.t array;   (* literal -> clause ids *)
+  mutable assigns : int array;     (* var -> -1 / 0 / 1 *)
+  mutable levels : int array;
+  mutable reasons : int array;     (* var -> clause id or -1 *)
+  mutable phase : bool array;      (* saved phase *)
+  mutable activity : float array;
+  mutable heap : int array;        (* binary max-heap of vars *)
+  mutable heap_pos : int array;    (* var -> index in heap, -1 if absent *)
+  mutable heap_len : int;
+  trail : Vec.t;
+  trail_lim : Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable unsat : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable seen : bool array;       (* scratch for analyze *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 64 { lits = [||]; learned = false; activity = 0. };
+    nclauses = 0;
+    watches = Array.init 64 (fun _ -> Vec.create ());
+    assigns = Array.make 32 (-1);
+    levels = Array.make 32 0;
+    reasons = Array.make 32 (-1);
+    phase = Array.make 32 false;
+    activity = Array.make 32 0.;
+    heap = Array.make 32 0;
+    heap_pos = Array.make 32 (-1);
+    heap_len = 0;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    unsat = false;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    seen = Array.make 32 false;
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = s.nclauses
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+let grow_array arr n default =
+  let len = Array.length arr in
+  if n <= len then arr
+  else begin
+    let arr' = Array.make (max n (2 * len)) default in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+(* {1 Decision heap ordered by activity} *)
+
+let heap_less s v1 v2 = s.activity.(v1) > s.activity.(v2)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vi) <- j;
+  s.heap_pos.(vj) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_len && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_len && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) = -1 then begin
+    s.heap <- grow_array s.heap (s.heap_len + 1) 0;
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s (s.heap_len - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_len > 0 then begin
+    let last = s.heap.(s.heap_len) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* {1 Variables} *)
+
+let grow_array_bool arr n =
+  let len = Array.length arr in
+  if n <= len then arr
+  else begin
+    let arr' = Array.make (max n (2 * len)) false in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns s.nvars (-1);
+  s.levels <- grow_array s.levels s.nvars 0;
+  s.reasons <- grow_array s.reasons s.nvars (-1);
+  s.activity <- grow_array s.activity s.nvars 0.;
+  s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
+  s.seen <- grow_array_bool s.seen s.nvars;
+  s.phase <- grow_array_bool s.phase s.nvars;
+  (let nlits = 2 * s.nvars in
+   if nlits > Array.length s.watches then begin
+     let w = Array.init (max nlits (2 * Array.length s.watches)) (fun _ ->
+       Vec.create ())
+     in
+     Array.blit s.watches 0 w 0 (Array.length s.watches);
+     s.watches <- w
+   end);
+  heap_insert s v;
+  v
+
+let lit_value s l =
+  let a = s.assigns.(lit_var l) in
+  if a = -1 then -1 else a lxor (l land 1)
+
+(* 1 = true, 0 = false, -1 = unassigned, for literal [l]. *)
+
+let decision_level s = Vec.len s.trail_lim
+
+let enqueue s l reason =
+  s.assigns.(lit_var l) <- 1 lxor (l land 1);
+  s.levels.(lit_var l) <- decision_level s;
+  s.reasons.(lit_var l) <- reason;
+  s.phase.(lit_var l) <- lit_is_pos l;
+  Vec.push s.trail l
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* {1 Clauses} *)
+
+let attach_clause s cid =
+  let c = s.clauses.(cid) in
+  (* Watch the negations: when a watched literal becomes false we visit
+     the clause. *)
+  Vec.push s.watches.(lit_not c.lits.(0)) cid;
+  Vec.push s.watches.(lit_not c.lits.(1)) cid
+
+let add_clause_internal s lits learned =
+  let cid = s.nclauses in
+  if cid = Array.length s.clauses then begin
+    let arr =
+      Array.make (2 * cid) { lits = [||]; learned = false; activity = 0. }
+    in
+    Array.blit s.clauses 0 arr 0 cid;
+    s.clauses <- arr
+  end;
+  s.clauses.(cid) <- { lits; learned; activity = 0. };
+  s.nclauses <- cid + 1;
+  attach_clause s cid;
+  cid
+
+let add_clause s lits =
+  if not s.unsat then begin
+    (* Level-0 simplification: drop false literals, detect tautologies and
+       already-satisfied clauses. Callers only add clauses at level 0. *)
+    let lits = List.sort_uniq Stdlib.compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (lit_not l) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] -> enqueue s l (-1)
+      | _ -> ignore (add_clause_internal s (Array.of_list lits) false)
+    end
+  end
+
+(* {1 Propagation} *)
+
+(* Returns the id of a conflicting clause, or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict = -1 && s.qhead < Vec.len s.trail do
+    let l = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    (* [l] just became true; visit clauses watching [not l]. *)
+    let ws = s.watches.(l) in
+    let n = Vec.len ws in
+    let kept = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let cid = Vec.get ws !i in
+      incr i;
+      let c = s.clauses.(cid) in
+      let false_lit = lit_not l in
+      (* Normalise so the false literal is at position 1. *)
+      if c.lits.(0) = false_lit then begin
+        c.lits.(0) <- c.lits.(1);
+        c.lits.(1) <- false_lit
+      end;
+      if lit_value s c.lits.(0) = 1 then begin
+        (* Clause already satisfied; keep the watch. *)
+        Vec.set ws !kept cid;
+        incr kept
+      end
+      else begin
+        (* Look for a new literal to watch. *)
+        let found = ref false in
+        let j = ref 2 in
+        let len = Array.length c.lits in
+        while (not !found) && !j < len do
+          if lit_value s c.lits.(!j) <> 0 then begin
+            c.lits.(1) <- c.lits.(!j);
+            c.lits.(!j) <- false_lit;
+            Vec.push s.watches.(lit_not c.lits.(1)) cid;
+            found := true
+          end;
+          incr j
+        done;
+        if not !found then begin
+          (* Unit or conflicting. *)
+          Vec.set ws !kept cid;
+          incr kept;
+          if lit_value s c.lits.(0) = 0 then begin
+            conflict := cid;
+            (* Copy the remaining watches back and stop. *)
+            while !i < n do
+              Vec.set ws !kept (Vec.get ws !i);
+              incr kept;
+              incr i
+            done;
+            s.qhead <- Vec.len s.trail
+          end
+          else enqueue s c.lits.(0) cid
+        end
+      end
+    done;
+    Vec.shrink ws !kept
+  done;
+  !conflict
+
+(* {1 Conflict analysis (first UIP)} *)
+
+let analyze s conflict_cid =
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let cid = ref conflict_cid in
+  let index = ref (Vec.len s.trail - 1) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!cid) in
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = lit_var q in
+      if (not s.seen.(v)) && s.levels.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.levels.(v) >= decision_level s then incr counter
+        else begin
+          learned := q :: !learned;
+          if s.levels.(v) > !btlevel then btlevel := s.levels.(v)
+        end
+      end
+    done;
+    (* Walk the trail backwards to the next marked literal. *)
+    while not s.seen.(lit_var (Vec.get s.trail !index)) do
+      decr index
+    done;
+    let pl = Vec.get s.trail !index in
+    decr index;
+    p := pl;
+    s.seen.(lit_var pl) <- false;
+    decr counter;
+    if !counter = 0 then continue := false
+    else cid := s.reasons.(lit_var pl)
+  done;
+  let learned_lits = lit_not !p :: !learned in
+  List.iter (fun l -> s.seen.(lit_var l) <- false) !learned;
+  (learned_lits, !btlevel)
+
+let backtrack s level =
+  if decision_level s > level then begin
+    let bound = Vec.get s.trail_lim level in
+    for i = Vec.len s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = lit_var l in
+      s.assigns.(v) <- -1;
+      s.reasons.(v) <- -1;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim level;
+    s.qhead <- bound
+  end
+
+let pick_branch_var s =
+  let v = ref (-1) in
+  while !v = -1 && s.heap_len > 0 do
+    let cand = heap_pop s in
+    if s.assigns.(cand) = -1 then v := cand
+  done;
+  !v
+
+(* Luby sequence for restart intervals. *)
+let rec luby i =
+  (* Find the finite subsequence containing index i. *)
+  let rec size_seq sz n = if sz >= i + 1 then (sz, n) else size_seq ((2 * sz) + 1) (n + 1) in
+  let sz, n = size_seq 1 0 in
+  if sz - 1 = i then float_of_int (1 lsl n)
+  else luby (i - ((sz - 1) / 2))
+
+let solve ?(max_conflicts = max_int) s =
+  if s.unsat then Unsat
+  else begin
+    let status = ref None in
+    let restart_idx = ref 0 in
+    let conflicts_at_start = s.conflicts in
+    while !status = None do
+      let restart_budget = int_of_float (100. *. luby !restart_idx) in
+      incr restart_idx;
+      let local_conflicts = ref 0 in
+      let restart = ref false in
+      while !status = None && not !restart do
+        let cid = propagate s in
+        if cid >= 0 then begin
+          s.conflicts <- s.conflicts + 1;
+          incr local_conflicts;
+          if decision_level s = 0 then status := Some Unsat
+          else begin
+            let learned, btlevel = analyze s cid in
+            backtrack s btlevel;
+            (match learned with
+            | [ l ] -> enqueue s l (-1)
+            | l :: _ ->
+              let lid = add_clause_internal s (Array.of_list learned) true in
+              enqueue s l lid
+            | [] -> status := Some Unsat);
+            var_decay s;
+            if s.conflicts - conflicts_at_start >= max_conflicts then
+              status := Some Unknown
+            else if !local_conflicts >= restart_budget then restart := true
+          end
+        end
+        else begin
+          let v = pick_branch_var s in
+          if v = -1 then status := Some Sat
+          else begin
+            s.decisions <- s.decisions + 1;
+            Vec.push s.trail_lim (Vec.len s.trail);
+            enqueue s (lit v s.phase.(v)) (-1)
+          end
+        end
+      done;
+      if !restart && !status = None then backtrack s 0
+    done;
+    match !status with
+    | Some Unknown ->
+      backtrack s 0;
+      Unknown
+    | Some st -> st
+    | None -> assert false
+  end
+
+let value s v = s.assigns.(v) = 1

@@ -1,0 +1,38 @@
+(** CDCL SAT solver (MiniSat-style core).
+
+    Literal encoding: variable [v] yields the positive literal [2 * v]
+    and the negative literal [2 * v + 1]. Variables are created with
+    {!new_var} before use. The solver is single-shot but incremental in
+    the sense that clauses may be added between {!solve} calls.
+
+    [solve ~max_conflicts] gives up with [Unknown] after the budget is
+    exhausted — used by the verification benchmarks to emulate the
+    "did not finish" outcome of the monolithic baseline. *)
+
+type t
+
+val create : unit -> t
+val new_var : t -> int
+val lit : int -> bool -> int
+(** [lit v positive]. *)
+
+val lit_not : int -> int
+val lit_var : int -> int
+val lit_is_pos : int -> bool
+
+val add_clause : t -> int list -> unit
+(** Adding the empty clause (or a clause that simplifies to it at level
+    0) makes the instance trivially unsat. *)
+
+type result = Sat | Unsat | Unknown
+
+val solve : ?max_conflicts:int -> t -> result
+val value : t -> int -> bool
+(** Value of a variable in the satisfying assignment; only meaningful
+    after [solve] returned [Sat]. Unassigned variables read as [false]. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int

@@ -1,0 +1,89 @@
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown
+
+type stats = {
+  mutable calls : int;
+  mutable sat_answers : int;
+  mutable unsat_answers : int;
+  mutable unknown_answers : int;
+  mutable interval_refutations : int;
+  mutable folded : int;
+}
+
+let stats =
+  {
+    calls = 0;
+    sat_answers = 0;
+    unsat_answers = 0;
+    unknown_answers = 0;
+    interval_refutations = 0;
+    folded = 0;
+  }
+
+let reset_stats () =
+  stats.calls <- 0;
+  stats.sat_answers <- 0;
+  stats.unsat_answers <- 0;
+  stats.unknown_answers <- 0;
+  stats.interval_refutations <- 0;
+  stats.folded <- 0
+
+let validate_model conj m =
+  if not (Eval.eval_bool m conj) then
+    failwith
+      (Printf.sprintf "Solver: extracted model fails to satisfy %s"
+         (Term.to_string conj))
+
+let check ?(max_conflicts = max_int) terms =
+  stats.calls <- stats.calls + 1;
+  let conj = Term.and_ terms in
+  if Term.is_true conj then begin
+    stats.folded <- stats.folded + 1;
+    stats.sat_answers <- stats.sat_answers + 1;
+    Sat (Model.create ())
+  end
+  else if Term.is_false conj then begin
+    stats.folded <- stats.folded + 1;
+    stats.unsat_answers <- stats.unsat_answers + 1;
+    Unsat
+  end
+  else if Interval.refute conj then begin
+    stats.interval_refutations <- stats.interval_refutations + 1;
+    stats.unsat_answers <- stats.unsat_answers + 1;
+    Unsat
+  end
+  else begin
+    let ctx = Bitblast.create () in
+    Bitblast.assert_term ctx conj;
+    match Sat.solve ~max_conflicts (Bitblast.sat ctx) with
+    | Sat.Sat ->
+      let m = Bitblast.extract_model ctx in
+      validate_model conj m;
+      stats.sat_answers <- stats.sat_answers + 1;
+      Sat m
+    | Sat.Unsat ->
+      stats.unsat_answers <- stats.unsat_answers + 1;
+      Unsat
+    | Sat.Unknown ->
+      stats.unknown_answers <- stats.unknown_answers + 1;
+      Unknown
+  end
+
+let check_term ?max_conflicts t = check ?max_conflicts [ t ]
+
+let is_sat ?max_conflicts terms =
+  match check ?max_conflicts terms with
+  | Sat _ | Unknown -> true
+  | Unsat -> false
+
+let is_unsat ?max_conflicts terms =
+  match check ?max_conflicts terms with
+  | Unsat -> true
+  | Sat _ | Unknown -> false
+
+let pp_outcome fmt = function
+  | Sat m -> Format.fprintf fmt "sat@ %a" Model.pp m
+  | Unsat -> Format.pp_print_string fmt "unsat"
+  | Unknown -> Format.pp_print_string fmt "unknown"

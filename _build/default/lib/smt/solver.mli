@@ -1,0 +1,40 @@
+(** Satisfiability of quantifier-free bit-vector constraints.
+
+    The pipeline is: smart-constructor folding (already applied by
+    {!Term}), a cheap interval refutation, then bit-blasting onto the
+    CDCL SAT core. Every [Sat] answer is re-validated by evaluating the
+    original constraints under the extracted model, so a blasting bug
+    can never produce a bogus counterexample. *)
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+type stats = {
+  mutable calls : int;
+  mutable sat_answers : int;
+  mutable unsat_answers : int;
+  mutable unknown_answers : int;
+  mutable interval_refutations : int;
+  mutable folded : int;  (** decided by constant folding alone *)
+}
+
+val stats : stats
+(** Global, cumulative; reset with {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+
+val check : ?max_conflicts:int -> Term.t list -> outcome
+(** Satisfiability of the conjunction. *)
+
+val check_term : ?max_conflicts:int -> Term.t -> outcome
+
+val is_sat : ?max_conflicts:int -> Term.t list -> bool
+(** [Unknown] counts as satisfiable (conservative for provers that must
+    not miss violations). *)
+
+val is_unsat : ?max_conflicts:int -> Term.t list -> bool
+(** [true] only on a definite [Unsat]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,21 @@
+(** Term sorts: booleans and fixed-width bit vectors. *)
+
+type t =
+  | Bool
+  | Bv of int  (** width in bits, [>= 1] *)
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool -> true
+  | Bv w1, Bv w2 -> w1 = w2
+  | (Bool | Bv _), _ -> false
+
+let width = function
+  | Bv w -> w
+  | Bool -> invalid_arg "Sort.width: Bool has no width"
+
+let is_bool = function Bool -> true | Bv _ -> false
+
+let pp fmt = function
+  | Bool -> Format.pp_print_string fmt "Bool"
+  | Bv w -> Format.fprintf fmt "Bv%d" w

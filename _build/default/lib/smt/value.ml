@@ -1,0 +1,25 @@
+(** Concrete values: what a term evaluates to under an assignment. *)
+
+module B = Vdp_bitvec.Bitvec
+
+type t =
+  | Vbool of bool
+  | Vbv of B.t
+
+let equal a b =
+  match (a, b) with
+  | Vbool x, Vbool y -> x = y
+  | Vbv x, Vbv y -> B.equal x y
+  | (Vbool _ | Vbv _), _ -> false
+
+let to_bool = function
+  | Vbool b -> b
+  | Vbv _ -> invalid_arg "Value.to_bool"
+
+let to_bv = function
+  | Vbv v -> v
+  | Vbool _ -> invalid_arg "Value.to_bv"
+
+let pp fmt = function
+  | Vbool b -> Format.pp_print_bool fmt b
+  | Vbv v -> B.pp fmt v

@@ -1,0 +1,1 @@
+lib/symbex/engine.ml: Array Format Hashtbl List Loopinfo Printf Sstate Stdlib Vdp_bitvec Vdp_ir Vdp_packet Vdp_smt

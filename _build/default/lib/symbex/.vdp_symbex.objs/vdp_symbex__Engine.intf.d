@@ -1,0 +1,1 @@
+lib/symbex/engine.mli: Format Sstate Vdp_ir Vdp_smt

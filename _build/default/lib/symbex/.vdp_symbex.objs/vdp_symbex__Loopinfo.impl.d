@@ -1,0 +1,1 @@
+lib/symbex/loopinfo.ml: Array Fun List Stdlib Vdp_ir

@@ -1,0 +1,1 @@
+lib/symbex/sstate.ml: Array Hashtbl List Printf String Vdp_bitvec Vdp_ir Vdp_smt

@@ -1,0 +1,163 @@
+(** Static loop analysis on IR control-flow graphs.
+
+    Identifies natural loops (back edges and their bodies), the
+    registers a loop body modifies, and whether the body branches beyond
+    the loop guard — the heuristic the engine uses to decide between
+    plain unrolling (cheap, precise, fine for counted straight-line
+    loops like checksums) and havoc summarisation (the paper's
+    mini-element decomposition, needed when each iteration multiplies
+    paths, as in IP-options parsing). *)
+
+module Ir = Vdp_ir.Types
+
+type loop = {
+  head : int;
+  body : int list;          (** blocks of the natural loop, including head *)
+  modified_regs : int list;
+  modified_meta : Ir.meta list;
+  body_branches : int;      (** branch terminators in body blocks other than the head *)
+  has_head_adjust : bool;   (** Pull/Push/Take inside the body *)
+}
+
+let successors (blk : Ir.block) =
+  match blk.Ir.term with
+  | Ir.Goto l -> [ l ]
+  | Ir.Branch (_, t, e) -> [ t; e ]
+  | Ir.Emit _ | Ir.Drop | Ir.Abort _ -> []
+
+let reachable_from (prog : Ir.program) start =
+  let n = Array.length prog.Ir.blocks in
+  let seen = Array.make n false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (successors prog.Ir.blocks.(b))
+    end
+  in
+  go start;
+  seen
+
+(* Iterative dominator computation (small CFGs; sets as bool arrays).
+   dom.(b) = set of blocks dominating b. Entry is block 0. *)
+let dominators (prog : Ir.program) =
+  let n = Array.length prog.Ir.blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun b blk ->
+      List.iter (fun s -> preds.(s) <- b :: preds.(s)) (successors blk))
+    prog.Ir.blocks;
+  let reach = reachable_from prog 0 in
+  let dom = Array.init n (fun b ->
+      if b = 0 then
+        Array.init n (fun i -> i = 0)
+      else Array.make n true)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 1 to n - 1 do
+      if reach.(b) then begin
+        let inter = Array.make n true in
+        let have_pred = ref false in
+        List.iter
+          (fun p ->
+            if reach.(p) then begin
+              have_pred := true;
+              for i = 0 to n - 1 do
+                if not dom.(p).(i) then inter.(i) <- false
+              done
+            end)
+          preds.(b);
+        if not !have_pred then Array.fill inter 0 n false;
+        inter.(b) <- true;
+        if inter <> dom.(b) then begin
+          dom.(b) <- inter;
+          changed := true
+        end
+      end
+    done
+  done;
+  dom
+
+(* Natural loop of back edge (tail -> head): head, tail, and everything
+   that reaches tail without passing through head. *)
+let natural_loop (prog : Ir.program) ~head ~tail =
+  let n = Array.length prog.Ir.blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun b blk ->
+      List.iter (fun s -> preds.(s) <- b :: preds.(s)) (successors blk))
+    prog.Ir.blocks;
+  let in_loop = Array.make n false in
+  in_loop.(head) <- true;
+  let rec pull b =
+    if not in_loop.(b) then begin
+      in_loop.(b) <- true;
+      List.iter pull preds.(b)
+    end
+  in
+  pull tail;
+  List.filter (fun b -> in_loop.(b)) (List.init n Fun.id)
+
+let instr_writes_reg = function
+  | Ir.Assign (r, _) | Ir.Load (r, _, _) | Ir.Load_len r | Ir.Meta_get (r, _)
+  | Ir.Kv_read (r, _, _) ->
+    Some r
+  | Ir.Store _ | Ir.Pull _ | Ir.Push _ | Ir.Take _ | Ir.Meta_set _
+  | Ir.Kv_write _ | Ir.Assert _ ->
+    None
+
+let analyze (prog : Ir.program) : loop list =
+  let nblocks = Array.length prog.Ir.blocks in
+  let dom = dominators prog in
+  let loops = ref [] in
+  for head = 0 to nblocks - 1 do
+    (* Back edges into [head]: predecessors that [head] dominates. *)
+    let tails =
+      List.filter
+        (fun b ->
+          dom.(b).(head)
+          && List.mem head (successors prog.Ir.blocks.(b)))
+        (List.init nblocks Fun.id)
+    in
+    if tails <> [] then begin
+      let body =
+        List.sort_uniq Stdlib.compare
+          (List.concat_map (fun tail -> natural_loop prog ~head ~tail) tails)
+      in
+      let modified_regs = ref [] in
+      let modified_meta = ref [] in
+      let branches = ref 0 in
+      let head_adjust = ref false in
+      List.iter
+        (fun b ->
+          let blk = prog.Ir.blocks.(b) in
+          List.iter
+            (fun ins ->
+              (match instr_writes_reg ins with
+              | Some r -> modified_regs := r :: !modified_regs
+              | None -> ());
+              match ins with
+              | Ir.Meta_set (m, _) -> modified_meta := m :: !modified_meta
+              | Ir.Pull _ | Ir.Push _ | Ir.Take _ -> head_adjust := true
+              | _ -> ())
+            blk.Ir.instrs;
+          match blk.Ir.term with
+          | Ir.Branch _ when b <> head -> incr branches
+          | _ -> ())
+        body;
+      loops :=
+        {
+          head;
+          body;
+          modified_regs = List.sort_uniq Stdlib.compare !modified_regs;
+          modified_meta = List.sort_uniq Stdlib.compare !modified_meta;
+          body_branches = !branches;
+          has_head_adjust = !head_adjust;
+        }
+        :: !loops
+    end
+  done;
+  List.rev !loops
+
+let loop_at loops head = List.find_opt (fun l -> l.head = head) loops

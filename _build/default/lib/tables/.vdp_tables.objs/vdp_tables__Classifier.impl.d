@@ -1,0 +1,1 @@
+lib/tables/classifier.ml: Array Char List String Vdp_packet

@@ -1,0 +1,1 @@
+lib/tables/dir_lpm.ml: Array List Stdlib

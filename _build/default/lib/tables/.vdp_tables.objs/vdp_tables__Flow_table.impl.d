@@ -1,0 +1,1 @@
+lib/tables/flow_table.ml: Array

@@ -1,0 +1,1 @@
+lib/tables/lpm.ml: List

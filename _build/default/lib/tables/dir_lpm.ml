@@ -1,0 +1,100 @@
+(** Array-based longest-prefix match in the DIR-24-8 style of
+    Gupta–Lin–McKeown (the paper's argument for verifiable lookup
+    structures: trade memory for plain array indexing).
+
+    A first array of [2^stride] slots is indexed by the top [stride]
+    address bits; prefixes longer than [stride] spill into second-level
+    blocks of [2^(32-stride)] slots. Every lookup is one or two array
+    reads — no loops, no pointers, trivially bounded. *)
+
+type t = {
+  stride : int;
+  top : int array;
+      (** [>= 0]: next hop + 1; [0]: no route; [< 0]: -(block index) - 1 *)
+  mutable blocks : int array array;
+  mutable nblocks : int;
+  low_bits : int;
+}
+
+let create ?(stride = 16) () =
+  if stride < 1 || stride > 24 then invalid_arg "Dir_lpm.create: stride";
+  {
+    stride;
+    top = Array.make (1 lsl stride) 0;
+    blocks = [||];
+    nblocks = 0;
+    low_bits = 32 - stride;
+  }
+
+let alloc_block t fill =
+  let b = Array.make (1 lsl t.low_bits) fill in
+  if t.nblocks = Array.length t.blocks then begin
+    let arr = Array.make (max 4 (2 * t.nblocks)) [||] in
+    Array.blit t.blocks 0 arr 0 t.nblocks;
+    t.blocks <- arr
+  end;
+  t.blocks.(t.nblocks) <- b;
+  t.nblocks <- t.nblocks + 1;
+  t.nblocks - 1
+
+(* Routes must be inserted in order of increasing prefix length for
+   correct longest-match overwrite semantics; [of_routes] takes care of
+   sorting. *)
+let insert t ~prefix ~len next_hop =
+  if len < 0 || len > 32 then invalid_arg "Dir_lpm.insert: bad length";
+  if next_hop < 0 then invalid_arg "Dir_lpm.insert: negative next hop";
+  let nh = next_hop + 1 in
+  if len <= t.stride then begin
+    (* Fill all covered top slots (that don't point into blocks). *)
+    let base = prefix lsr (32 - t.stride) in
+    let span = 1 lsl (t.stride - len) in
+    let base = base land lnot (span - 1) in
+    for i = base to base + span - 1 do
+      if t.top.(i) >= 0 then t.top.(i) <- nh
+      else begin
+        (* A longer prefix already expanded this slot: update the whole
+           block where it still holds shorter-prefix data. This cannot
+           happen when inserting in length order; keep it total anyway. *)
+        let b = t.blocks.(-t.top.(i) - 1) in
+        Array.iteri (fun j v -> if v = 0 then b.(j) <- nh) b
+      end
+    done
+  end
+  else begin
+    let ti = prefix lsr (32 - t.stride) in
+    let bi =
+      if t.top.(ti) < 0 then -t.top.(ti) - 1
+      else begin
+        let fill = t.top.(ti) in
+        let bi = alloc_block t fill in
+        t.top.(ti) <- -bi - 1;
+        bi
+      end
+    in
+    let block = t.blocks.(bi) in
+    let low = (prefix lsr (32 - len)) land ((1 lsl (len - t.stride)) - 1) in
+    let shift = t.low_bits - (len - t.stride) in
+    let base = low lsl shift in
+    for i = base to base + (1 lsl shift) - 1 do
+      block.(i) <- nh
+    done
+  end
+
+let lookup t addr =
+  let ti = (addr lsr (32 - t.stride)) land ((1 lsl t.stride) - 1) in
+  let v = t.top.(ti) in
+  let v =
+    if v >= 0 then v
+    else t.blocks.(-v - 1).(addr land ((1 lsl t.low_bits) - 1))
+  in
+  if v = 0 then None else Some (v - 1)
+
+let of_routes ?stride routes =
+  let t = create ?stride () in
+  let sorted =
+    List.sort (fun (_, l1, _) (_, l2, _) -> Stdlib.compare l1 l2) routes
+  in
+  List.iter (fun (prefix, len, nh) -> insert t ~prefix ~len nh) sorted;
+  t
+
+let memory_slots t = Array.length t.top + (t.nblocks * (1 lsl t.low_bits))

@@ -1,0 +1,154 @@
+(** Pre-allocated array-chain hash table — the paper's canonical
+    "verifiable" stateful structure: all memory allocated up front,
+    chains are array indices, every operation touches a statically
+    bounded number of slots.
+
+    Keys and values are OCaml ints here (the element-level view goes
+    through IR key/value stores); this native version backs tests and
+    runtime-only baselines. *)
+
+type slot = {
+  mutable occupied : bool;
+  mutable key : int;
+  mutable value : int;
+  mutable next : int;  (** index into the overflow arena, or -1 *)
+}
+
+type t = {
+  nbuckets : int;
+  buckets : slot array;
+  overflow : slot array;
+  mutable free : int;  (** head of the overflow free list *)
+  mutable count : int;
+}
+
+let fresh_slot () = { occupied = false; key = 0; value = 0; next = -1 }
+
+let create ~buckets ~overflow =
+  if buckets < 1 || overflow < 0 then invalid_arg "Flow_table.create";
+  let t =
+    {
+      nbuckets = buckets;
+      buckets = Array.init buckets (fun _ -> fresh_slot ());
+      overflow = Array.init overflow (fun _ -> fresh_slot ());
+      free = (if overflow = 0 then -1 else 0);
+      count = 0;
+    }
+  in
+  Array.iteri
+    (fun i s -> s.next <- (if i + 1 < overflow then i + 1 else -1))
+    t.overflow;
+  t
+
+(* Knuth multiplicative hashing; good enough and branch-free. *)
+let hash t k = (k * 0x9e3779b1) land max_int mod t.nbuckets
+
+let find t k =
+  let b = t.buckets.(hash t k) in
+  if b.occupied && b.key = k then Some b.value
+  else begin
+    let rec chase i =
+      if i = -1 then None
+      else
+        let s = t.overflow.(i) in
+        if s.occupied && s.key = k then Some s.value else chase s.next
+    in
+    if b.occupied then chase b.next else None
+  end
+
+exception Full
+
+(** Insert or update. Raises {!Full} when the overflow arena is
+    exhausted — the bounded-memory behaviour a verifiable dataplane
+    must expose rather than allocate. *)
+let set t k v =
+  let b = t.buckets.(hash t k) in
+  if not b.occupied then begin
+    b.occupied <- true;
+    b.key <- k;
+    b.value <- v;
+    b.next <- -1;
+    t.count <- t.count + 1
+  end
+  else if b.key = k then b.value <- v
+  else begin
+    let rec chase i =
+      let s = t.overflow.(i) in
+      if s.occupied && s.key = k then s.value <- v
+      else if s.next = -1 then begin
+        (* Append a slot from the free list. *)
+        if t.free = -1 then raise Full;
+        let ni = t.free in
+        let n = t.overflow.(ni) in
+        t.free <- n.next;
+        n.occupied <- true;
+        n.key <- k;
+        n.value <- v;
+        n.next <- -1;
+        s.next <- ni;
+        t.count <- t.count + 1
+      end
+      else chase s.next
+    in
+    if b.next = -1 then begin
+      if t.free = -1 then raise Full;
+      let ni = t.free in
+      let n = t.overflow.(ni) in
+      t.free <- n.next;
+      n.occupied <- true;
+      n.key <- k;
+      n.value <- v;
+      n.next <- -1;
+      b.next <- ni;
+      t.count <- t.count + 1
+    end
+    else chase b.next
+  end
+
+let update t k f =
+  let cur = find t k in
+  set t k (f cur)
+
+let remove t k =
+  let b = t.buckets.(hash t k) in
+  if b.occupied && b.key = k then begin
+    (* Promote the first chained slot into the bucket, if any. *)
+    (match b.next with
+    | -1 -> b.occupied <- false
+    | i ->
+      let s = t.overflow.(i) in
+      b.key <- s.key;
+      b.value <- s.value;
+      b.next <- s.next;
+      s.occupied <- false;
+      s.next <- t.free;
+      t.free <- i);
+    t.count <- t.count - 1
+  end
+  else if b.occupied then begin
+    let rec chase prev i =
+      if i <> -1 then begin
+        let s = t.overflow.(i) in
+        if s.occupied && s.key = k then begin
+          (match prev with
+          | None -> b.next <- s.next
+          | Some p -> t.overflow.(p).next <- s.next);
+          s.occupied <- false;
+          s.next <- t.free;
+          t.free <- i;
+          t.count <- t.count - 1
+        end
+        else chase (Some i) s.next
+      end
+    in
+    chase None b.next
+  end
+
+let count t = t.count
+
+let fold f t init =
+  let acc = ref init in
+  let visit s = if s.occupied then acc := f s.key s.value !acc in
+  Array.iter visit t.buckets;
+  Array.iter visit t.overflow;
+  !acc

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest List Printf QCheck QCheck_alcotest String Vdp_bitvec

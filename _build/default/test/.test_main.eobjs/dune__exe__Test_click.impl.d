@@ -1,0 +1,1 @@
+test/test_click.ml: Alcotest Array List QCheck QCheck_alcotest Random Stdlib String Vdp_bitvec Vdp_click Vdp_ir Vdp_packet Vdp_tables

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array List Sys Vdp_click

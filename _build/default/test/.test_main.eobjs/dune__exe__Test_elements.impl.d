@@ -1,0 +1,1 @@
+test/test_elements.ml: Alcotest List QCheck QCheck_alcotest Random String Vdp_bitvec Vdp_click Vdp_ir Vdp_packet Vdp_symbex Vdp_verif

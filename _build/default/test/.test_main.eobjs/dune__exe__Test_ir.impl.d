@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Char List QCheck QCheck_alcotest String Vdp_bitvec Vdp_ir Vdp_packet

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bitvec Test_click Test_config Test_elements Test_interval Test_ir Test_packet Test_sat Test_solver Test_symbex Test_tables Test_term Test_verif

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Char List QCheck QCheck_alcotest Random String Vdp_packet

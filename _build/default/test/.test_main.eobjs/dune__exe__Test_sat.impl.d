@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest String Vdp_smt

@@ -1,0 +1,1 @@
+test/test_symbex.ml: Alcotest List QCheck QCheck_alcotest Random Vdp_bitvec Vdp_click Vdp_ir Vdp_packet Vdp_smt Vdp_symbex

@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Random String Vdp_packet Vdp_tables

@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest List Vdp_bitvec Vdp_smt

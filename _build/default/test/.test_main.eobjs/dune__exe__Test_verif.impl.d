@@ -1,0 +1,1 @@
+test/test_verif.ml: Alcotest List Option QCheck QCheck_alcotest Random String Vdp_bitvec Vdp_click Vdp_ir Vdp_packet Vdp_smt Vdp_symbex Vdp_verif

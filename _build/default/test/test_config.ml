@@ -1,0 +1,89 @@
+(* The Click-like configuration language. *)
+
+module Click = Vdp_click
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tests =
+  [
+    Alcotest.test_case "declarations and chains" `Quick (fun () ->
+        let pl =
+          Click.Config.parse
+            {|
+            a :: Paint(1);
+            b :: Paint(2);
+            a -> b;
+            |}
+        in
+        check_int "two elements" 2 (Click.Pipeline.length pl);
+        let n = Click.Pipeline.node pl 0 in
+        check_bool "a connects to b" true
+          (n.Click.Pipeline.outputs.(0) = Some (1, 0)));
+    Alcotest.test_case "anonymous elements in chains" `Quick (fun () ->
+        let pl = Click.Config.parse "Paint(1) -> Paint(2) -> Discard;" in
+        check_int "three elements" 3 (Click.Pipeline.length pl));
+    Alcotest.test_case "port annotations" `Quick (fun () ->
+        let pl =
+          Click.Config.parse
+            {|
+            c :: Classifier(12/0800, -);
+            c[1] -> Discard;
+            c[0] -> Counter;
+            |}
+        in
+        let c = Click.Pipeline.node pl 0 in
+        check_bool "port1 -> node1" true
+          (c.Click.Pipeline.outputs.(1) = Some (1, 0));
+        check_bool "port0 -> node2" true
+          (c.Click.Pipeline.outputs.(0) = Some (2, 0)));
+    Alcotest.test_case "comments and whitespace" `Quick (fun () ->
+        let pl =
+          Click.Config.parse
+            "// leading comment\n  a :: Counter; // trailing\n a -> Discard;"
+        in
+        check_int "two" 2 (Click.Pipeline.length pl));
+    Alcotest.test_case "nested-paren configs split correctly" `Quick
+      (fun () ->
+        (* Classifier patterns contain no parens, but commas split at
+           the top level only. *)
+        let pl =
+          Click.Config.parse
+            "c :: StaticIPLookup(10.0.0.0/8 0, 0.0.0.0/0 1);"
+        in
+        let e = (Click.Pipeline.node pl 0).Click.Pipeline.element in
+        check_int "two route args" 2 (List.length e.Click.Element.config));
+    Alcotest.test_case "parse errors are reported" `Quick (fun () ->
+        let bad s =
+          try
+            ignore (Click.Config.parse s);
+            false
+          with
+          | Click.Config.Parse_error _ -> true
+          | Click.Registry.Unknown_class _ -> true
+        in
+        check_bool "dangling arrow" true (bad "a :: Counter; a ->");
+        check_bool "undeclared" true (bad "a -> b;");
+        check_bool "unknown class" true (bad "a :: NoSuchThing;");
+        check_bool "duplicate name" true
+          (bad "a :: Counter; a :: Counter;"));
+    Alcotest.test_case "double connection rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Click.Config.parse
+                  "a :: Counter; a -> Discard; a -> Discard;");
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "example configs parse and verify" `Quick (fun () ->
+        (* cwd is _build/default/test under dune runtest, the repo root
+           when the executable is run by hand. *)
+        let find name =
+          List.find Sys.file_exists
+            [ "../examples/" ^ name; "examples/" ^ name ]
+        in
+        let pl = Click.Config.parse_file (find "router.click") in
+        check_int "router has 11 nodes" 11 (Click.Pipeline.length pl);
+        let pl2 = Click.Config.parse_file (find "firewall.click") in
+        check_bool "firewall parses" true (Click.Pipeline.length pl2 > 5));
+  ]

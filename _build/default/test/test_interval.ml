@@ -1,0 +1,76 @@
+(* The interval analysis: ranges must over-approximate, refutations
+   must be sound (never refute a satisfiable constraint). *)
+
+module B = Vdp_bitvec.Bitvec
+module T = Vdp_smt.Term
+module I = Vdp_smt.Interval
+module Model = Vdp_smt.Model
+module Eval = Vdp_smt.Eval
+
+let check_bool = Alcotest.(check bool)
+
+let x = T.var "x" 8
+let c n = T.bv_int ~width:8 n
+
+let unit_tests =
+  [
+    Alcotest.test_case "range of constants" `Quick (fun () ->
+        check_bool "const" true (I.range (c 42) = Some (42, 42)));
+    Alcotest.test_case "range through masks and shifts" `Quick (fun () ->
+        (* (zext16 (x & 0x0f)) << 2 : the header-length pattern. *)
+        let hlen = T.shl (T.zext 16 (T.band x (c 0x0f))) (T.bv_int ~width:16 2) in
+        match I.range hlen with
+        | Some (lo, hi) -> check_bool "0..60" true (lo = 0 && hi = 60)
+        | None -> Alcotest.fail "expected a range");
+    Alcotest.test_case "refutes contradictory bounds" `Quick (fun () ->
+        check_bool "x<5 && x>10" true
+          (I.refute (T.and_ [ T.ult x (c 5); T.ult (c 10) x ]));
+        check_bool "x<10 && x>5 sat" false
+          (I.refute (T.and_ [ T.ult x (c 10); T.ult (c 5) x ])));
+    Alcotest.test_case "refutes eq against range" `Quick (fun () ->
+        let masked = T.band x (c 0x0f) in
+        check_bool "masked = 200 impossible" true
+          (I.refute (T.eq masked (c 200))));
+    Alcotest.test_case "negated atoms" `Quick (fun () ->
+        (* not (x < 5) && x < 3  is unsat *)
+        check_bool "refuted" true
+          (I.refute (T.and_ [ T.not_ (T.ult x (c 5)); T.ult x (c 3) ])));
+  ]
+
+(* Soundness: anything interval-refuted is really unsat (checked by
+   brute force over one 8-bit variable). *)
+let soundness =
+  let gen =
+    QCheck.Gen.(
+      let atom =
+        let* op = int_bound 2 in
+        let* k = int_bound 255 in
+        let* flip = bool in
+        let base = T.var "x" 8 in
+        let t =
+          match op with
+          | 0 -> T.ult base (T.bv_int ~width:8 k)
+          | 1 -> T.ule (T.bv_int ~width:8 k) base
+          | _ -> T.eq base (T.bv_int ~width:8 k)
+        in
+        return (if flip then T.not_ t else t)
+      in
+      let* n = int_range 1 4 in
+      let* atoms = list_repeat n atom in
+      return (T.and_ atoms))
+  in
+  QCheck.Test.make ~count:500 ~name:"interval refutation is sound"
+    (QCheck.make ~print:T.to_string gen)
+    (fun t ->
+      if I.refute t then begin
+        (* Must be unsat: no byte value satisfies it. *)
+        let sat = ref false in
+        for v = 0 to 255 do
+          let m = Model.of_list [ ("x", B.of_int ~width:8 v) ] in
+          if Eval.eval_bool m t then sat := true
+        done;
+        not !sat
+      end
+      else true)
+
+let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest [ soundness ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "vdp"
+    [
+      ("bitvec", Test_bitvec.tests);
+      ("term", Test_term.tests);
+      ("sat", Test_sat.tests);
+      ("solver", Test_solver.tests);
+      ("packet", Test_packet.tests);
+      ("ir", Test_ir.tests);
+      ("tables", Test_tables.tests);
+      ("click", Test_click.tests);
+      ("symbex", Test_symbex.tests);
+      ("verif", Test_verif.tests);
+      ("elements", Test_elements.tests);
+      ("interval", Test_interval.tests);
+      ("config", Test_config.tests);
+    ]

@@ -1,0 +1,140 @@
+(* The CDCL core: known instances plus random 3-SAT cross-checked
+   against brute force. *)
+
+module Sat = Vdp_smt.Sat
+
+let check_bool = Alcotest.(check bool)
+
+let solve_clauses nvars clauses =
+  let s = Sat.create () in
+  let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+  List.iter
+    (fun clause ->
+      Sat.add_clause s
+        (List.map (fun l -> Sat.lit vars.(abs l - 1) (l > 0)) clause))
+    clauses;
+  (s, vars)
+
+let is_sat nvars clauses =
+  match Sat.solve (fst (solve_clauses nvars clauses)) with
+  | Sat.Sat -> true
+  | Sat.Unsat -> false
+  | Sat.Unknown -> Alcotest.fail "unexpected Unknown"
+
+(* Brute-force satisfiability for <= 20 vars. *)
+let brute_force nvars clauses =
+  let n = 1 lsl nvars in
+  let rec try_assignment i =
+    if i >= n then false
+    else
+      let ok =
+        List.for_all
+          (fun clause ->
+            List.exists
+              (fun l ->
+                let v = abs l - 1 in
+                let bit = i land (1 lsl v) <> 0 in
+                if l > 0 then bit else not bit)
+              clause)
+          clauses
+      in
+      ok || try_assignment (i + 1)
+  in
+  try_assignment 0
+
+(* Pigeonhole: n+1 pigeons, n holes — classically unsat. *)
+let pigeonhole n =
+  let var p h = (p * n) + h + 1 in
+  let each_pigeon =
+    List.init (n + 1) (fun p -> List.init n (fun h -> var p h))
+  in
+  let no_share =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then Some [ -var p1 h; -var p2 h ] else None)
+              (List.init (n + 1) Fun.id))
+          (List.init (n + 1) Fun.id))
+      (List.init n Fun.id)
+  in
+  ((n + 1) * n, each_pigeon @ no_share)
+
+let unit_tests =
+  [
+    Alcotest.test_case "trivial sat" `Quick (fun () ->
+        check_bool "x" true (is_sat 1 [ [ 1 ] ]));
+    Alcotest.test_case "trivial unsat" `Quick (fun () ->
+        check_bool "x & ~x" false (is_sat 1 [ [ 1 ]; [ -1 ] ]));
+    Alcotest.test_case "empty clause unsat" `Quick (fun () ->
+        check_bool "[]" false (is_sat 1 [ [] ]));
+    Alcotest.test_case "model is consistent" `Quick (fun () ->
+        let clauses = [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ 2; 3 ] ] in
+        let s, vars = solve_clauses 3 clauses in
+        (match Sat.solve s with
+        | Sat.Sat -> ()
+        | _ -> Alcotest.fail "expected sat");
+        let value i = Sat.value s vars.(i - 1) in
+        List.iter
+          (fun clause ->
+            check_bool "clause satisfied" true
+              (List.exists
+                 (fun l -> if l > 0 then value l else not (value (-l)))
+                 clause))
+          clauses);
+    Alcotest.test_case "chain of implications" `Quick (fun () ->
+        (* x1 & (x1 -> x2) & ... & (x_{n-1} -> x_n) & ~x_n : unsat *)
+        let n = 50 in
+        let clauses =
+          [ [ 1 ] ]
+          @ List.init (n - 1) (fun i -> [ -(i + 1); i + 2 ])
+          @ [ [ -n ] ]
+        in
+        check_bool "unsat" false (is_sat n clauses));
+    Alcotest.test_case "pigeonhole 4 unsat" `Quick (fun () ->
+        let nvars, clauses = pigeonhole 4 in
+        check_bool "php4" false (is_sat nvars clauses));
+    Alcotest.test_case "pigeonhole sat direction" `Quick (fun () ->
+        (* n pigeons in n holes is satisfiable: drop one pigeon's clauses. *)
+        let n = 4 in
+        let nvars, clauses = pigeonhole n in
+        let var p h = (p * n) + h + 1 in
+        let reduced =
+          List.filter (fun c -> not (List.mem (var n 0) c && List.length c = n)) clauses
+        in
+        check_bool "php-1" true (is_sat nvars reduced));
+    Alcotest.test_case "budget returns Unknown" `Quick (fun () ->
+        let nvars, clauses = pigeonhole 7 in
+        let s, _ = solve_clauses nvars clauses in
+        match Sat.solve ~max_conflicts:10 s with
+        | Sat.Unknown -> ()
+        | Sat.Unsat -> () (* solved within budget: also fine *)
+        | Sat.Sat -> Alcotest.fail "php7 cannot be sat");
+  ]
+
+let random_3sat =
+  let gen =
+    QCheck.Gen.(
+      let nvars = 8 in
+      let* nclauses = int_range 10 40 in
+      let lit = map2 (fun v s -> if s then v + 1 else -(v + 1))
+          (int_bound (nvars - 1)) bool
+      in
+      let* clauses = list_size (return nclauses) (list_size (return 3) lit) in
+      return (nvars, clauses))
+  in
+  QCheck.Test.make ~count:300 ~name:"random 3-SAT agrees with brute force"
+    (QCheck.make
+       ~print:(fun (n, cs) ->
+         Printf.sprintf "%d vars, %s" n
+           (String.concat " "
+              (List.map
+                 (fun c ->
+                   "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+                 cs)))
+       gen)
+    (fun (nvars, clauses) -> is_sat nvars clauses = brute_force nvars clauses)
+
+let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest [ random_3sat ]

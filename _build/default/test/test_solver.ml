@@ -1,0 +1,173 @@
+(* End-to-end solver checks: hand-written constraints with known status,
+   plus random terms cross-checked against brute-force enumeration of
+   all variable assignments at small widths. *)
+
+module T = Vdp_smt.Term
+module B = Vdp_bitvec.Bitvec
+module Solver = Vdp_smt.Solver
+module Model = Vdp_smt.Model
+module Eval = Vdp_smt.Eval
+
+let check_bool = Alcotest.(check bool)
+
+let status terms =
+  match Solver.check terms with
+  | Solver.Sat _ -> `Sat
+  | Solver.Unsat -> `Unsat
+  | Solver.Unknown -> `Unknown
+
+let expect_sat terms = check_bool "sat" true (status terms = `Sat)
+let expect_unsat terms = check_bool "unsat" true (status terms = `Unsat)
+
+let x = T.var "x" 8
+let y = T.var "y" 8
+let c n = T.bv_int ~width:8 n
+
+let unit_tests =
+  [
+    Alcotest.test_case "simple sat" `Quick (fun () ->
+        expect_sat [ T.eq x (c 42) ]);
+    Alcotest.test_case "simple unsat" `Quick (fun () ->
+        expect_unsat [ T.eq x (c 1); T.eq x (c 2) ]);
+    Alcotest.test_case "paper toy composition is infeasible" `Quick (fun () ->
+        (* Fig. 2: C1(in) = in < 0 (signed), then E2 sees out = 0 and
+           asserts 0 >= 0... composed constraint (in < 0) && (0 < 0). *)
+        let in_ = T.var "in" 8 in
+        let zero = c 0 in
+        expect_unsat [ T.slt in_ zero; T.slt zero zero ]);
+    Alcotest.test_case "range conjunction" `Quick (fun () ->
+        expect_sat [ T.ult x (c 10); T.ult (c 5) x ];
+        expect_unsat [ T.ult x (c 5); T.ult (c 10) x ]);
+    Alcotest.test_case "arithmetic identity is valid" `Quick (fun () ->
+        (* (x + y) - y = x  — its negation must be unsat. *)
+        expect_unsat [ T.neq (T.sub (T.add x y) y) x ]);
+    Alcotest.test_case "mul/div relation" `Quick (fun () ->
+        (* x = 6, y = x / 2 => y = 3 *)
+        expect_unsat
+          [ T.eq x (c 6); T.eq y (T.udiv x (c 2)); T.neq y (c 3) ]);
+    Alcotest.test_case "udiv by zero is all-ones" `Quick (fun () ->
+        expect_unsat [ T.neq (T.udiv x (c 0)) (c 255) ]);
+    Alcotest.test_case "signed vs unsigned differ on high bit" `Quick
+      (fun () ->
+        (* x = 0x80: unsigned 128 > 0, signed negative. *)
+        expect_sat [ T.eq x (c 0x80); T.slt x (c 0) ];
+        expect_unsat [ T.eq x (c 0x80); T.ult x (c 0x80) ]);
+    Alcotest.test_case "shift circuit" `Quick (fun () ->
+        expect_unsat [ T.neq (T.shl (c 1) (c 3)) (c 8) ];
+        expect_unsat [ T.neq (T.shl x (c 8)) (c 0) ];
+        expect_unsat [ T.neq (T.ashr (c 0x80) (c 7)) (c 0xff) ]);
+    Alcotest.test_case "model satisfies constraints" `Quick (fun () ->
+        let terms =
+          [ T.ult x y; T.ult y (c 20); T.eq (T.band x (c 1)) (c 1) ]
+        in
+        match Solver.check terms with
+        | Solver.Sat m ->
+          List.iter
+            (fun t -> check_bool "holds" true (Eval.eval_bool m t))
+            terms
+        | _ -> Alcotest.fail "expected sat");
+    Alcotest.test_case "sext comparison" `Quick (fun () ->
+        let w16 = T.sext 16 x in
+        (* sext preserves signed order against 0. *)
+        expect_unsat
+          [ T.slt x (c 0); T.sle (T.bv_int ~width:16 0) w16 ]);
+    Alcotest.test_case "concat/extract roundtrip" `Quick (fun () ->
+        let cc = T.concat x y in
+        expect_unsat [ T.neq (T.extract ~hi:15 ~lo:8 cc) x ]);
+    Alcotest.test_case "max_conflicts small budget" `Quick (fun () ->
+        (* A multiplication equation that needs real search; with a
+           1-conflict budget the solver may give up (Unknown) but must
+           never return a wrong definite answer. *)
+        let terms = [ T.eq (T.mul x y) (c 143); T.ult (c 1) x; T.ult x (c 143); T.ult (c 1) y ] in
+        (match Solver.check ~max_conflicts:1 terms with
+        | Solver.Unsat -> Alcotest.fail "143 = 11 * 13 is satisfiable"
+        | Solver.Sat m ->
+          check_bool "model valid" true
+            (List.for_all (Eval.eval_bool m) terms)
+        | Solver.Unknown -> ()));
+  ]
+
+(* {1 Random-term cross-check against brute force} *)
+
+(* Generate random boolean terms over two 4-bit variables. *)
+let gen_term : T.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let w = 4 in
+  let var_x = T.var "bx" w and var_y = T.var "by" w in
+  let rec bv_term depth =
+    if depth = 0 then
+      oneof
+        [ return var_x; return var_y;
+          map (fun n -> T.bv_int ~width:w n) (int_bound 15) ]
+    else
+      let sub = bv_term (depth - 1) in
+      oneof
+        [
+          map2 T.add sub sub;
+          map2 T.sub sub sub;
+          map2 T.mul sub sub;
+          map2 T.band sub sub;
+          map2 T.bor sub sub;
+          map2 T.bxor sub sub;
+          map2 T.udiv sub sub;
+          map2 T.urem sub sub;
+          map2 T.shl sub sub;
+          map2 T.lshr sub sub;
+          map T.bnot sub;
+          map T.bneg sub;
+          sub;
+        ]
+  in
+  let rec bool_term depth =
+    if depth = 0 then
+      let atom =
+        oneof
+          [
+            map2 T.ult (bv_term 1) (bv_term 1);
+            map2 T.ule (bv_term 1) (bv_term 1);
+            map2 T.slt (bv_term 1) (bv_term 1);
+            map2 T.eq (bv_term 1) (bv_term 1);
+          ]
+      in
+      atom
+    else
+      let sub = bool_term (depth - 1) in
+      oneof
+        [
+          map2 (fun a b -> T.and_ [ a; b ]) sub sub;
+          map2 (fun a b -> T.or_ [ a; b ]) sub sub;
+          map T.not_ sub;
+          sub;
+        ]
+  in
+  bool_term 2
+
+let brute_force_sat t =
+  let exception Found in
+  try
+    for i = 0 to 15 do
+      for j = 0 to 15 do
+        let m =
+          Model.of_list
+            [ ("bx", B.of_int ~width:4 i); ("by", B.of_int ~width:4 j) ]
+        in
+        if Eval.eval_bool m t then raise Found
+      done
+    done;
+    false
+  with Found -> true
+
+let random_term_test =
+  QCheck.Test.make ~count:300 ~name:"solver agrees with brute force"
+    (QCheck.make ~print:T.to_string gen_term)
+    (fun t ->
+      let solver_sat =
+        match Solver.check [ t ] with
+        | Solver.Sat _ -> true
+        | Solver.Unsat -> false
+        | Solver.Unknown -> QCheck.assume_fail ()
+      in
+      solver_sat = brute_force_sat t)
+
+let tests =
+  unit_tests @ List.map QCheck_alcotest.to_alcotest [ random_term_test ]

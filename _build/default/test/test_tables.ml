@@ -1,0 +1,166 @@
+(* LPM structures (trie vs DIR arrays), flow table, classifier. *)
+
+module Lpm = Vdp_tables.Lpm
+module Dir = Vdp_tables.Dir_lpm
+module Ft = Vdp_tables.Flow_table
+module Cls = Vdp_tables.Classifier
+module P = Vdp_packet.Packet
+module Ipv4 = Vdp_packet.Ipv4
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ip = Ipv4.addr_of_string
+
+let opt_int = Alcotest.(check (option int))
+
+let sample_routes =
+  [
+    (ip "0.0.0.0", 0, 0);
+    (ip "10.0.0.0", 8, 1);
+    (ip "10.1.0.0", 16, 2);
+    (ip "10.1.2.0", 24, 3);
+    (ip "192.168.0.0", 16, 4);
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "trie longest match" `Quick (fun () ->
+        let t = Lpm.of_list sample_routes in
+        opt_int "default" (Some 0) (Lpm.lookup t (ip "8.8.8.8"));
+        opt_int "/8" (Some 1) (Lpm.lookup t (ip "10.200.0.1"));
+        opt_int "/16" (Some 2) (Lpm.lookup t (ip "10.1.99.1"));
+        opt_int "/24" (Some 3) (Lpm.lookup t (ip "10.1.2.200"));
+        opt_int "other /16" (Some 4) (Lpm.lookup t (ip "192.168.44.5")));
+    Alcotest.test_case "trie without default" `Quick (fun () ->
+        let t = Lpm.of_list [ (ip "10.0.0.0", 8, 1) ] in
+        opt_int "miss" None (Lpm.lookup t (ip "11.0.0.1")));
+    Alcotest.test_case "dir agrees on samples" `Quick (fun () ->
+        let d = Dir.of_routes sample_routes in
+        opt_int "default" (Some 0) (Dir.lookup d (ip "8.8.8.8"));
+        opt_int "/24" (Some 3) (Dir.lookup d (ip "10.1.2.200"));
+        opt_int "/16 behind /24" (Some 2) (Dir.lookup d (ip "10.1.3.1")));
+    Alcotest.test_case "dir handles /32" `Quick (fun () ->
+        let d =
+          Dir.of_routes [ (ip "0.0.0.0", 0, 0); (ip "10.1.2.3", 32, 9) ]
+        in
+        opt_int "host" (Some 9) (Dir.lookup d (ip "10.1.2.3"));
+        opt_int "neighbour" (Some 0) (Dir.lookup d (ip "10.1.2.4")));
+    Alcotest.test_case "flow table basics" `Quick (fun () ->
+        let t = Ft.create ~buckets:8 ~overflow:8 in
+        Ft.set t 1 10;
+        Ft.set t 9 90;  (* same bucket as 1 for many hash choices *)
+        Ft.set t 1 11;
+        opt_int "updated" (Some 11) (Ft.find t 1);
+        opt_int "chained" (Some 90) (Ft.find t 9);
+        opt_int "missing" None (Ft.find t 3);
+        check_int "count" 2 (Ft.count t));
+    Alcotest.test_case "flow table remove" `Quick (fun () ->
+        let t = Ft.create ~buckets:4 ~overflow:8 in
+        List.iter (fun k -> Ft.set t k (k * 10)) [ 1; 5; 9; 13 ];
+        Ft.remove t 5;
+        opt_int "gone" None (Ft.find t 5);
+        opt_int "kept" (Some 90) (Ft.find t 9);
+        Ft.set t 5 50;
+        opt_int "reinserted" (Some 50) (Ft.find t 5));
+    Alcotest.test_case "flow table raises Full" `Quick (fun () ->
+        let t = Ft.create ~buckets:1 ~overflow:2 in
+        Ft.set t 0 0;
+        Ft.set t 1 1;
+        Ft.set t 2 2;
+        check_bool "full" true
+          (try Ft.set t 3 3; false with Ft.Full -> true));
+    Alcotest.test_case "classifier patterns" `Quick (fun () ->
+        let t = Cls.parse [ "12/0800"; "12/0806 20/0001"; "-" ] in
+        let ipv4_frame =
+          P.create (String.make 12 '\000' ^ "\x08\x00" ^ String.make 20 '\000')
+        in
+        opt_int "ip" (Some 0) (Cls.classify t ipv4_frame);
+        let arp_req =
+          P.create
+            (String.make 12 '\000' ^ "\x08\x06" ^ String.make 6 '\000'
+           ^ "\x00\x01" ^ String.make 10 '\000')
+        in
+        opt_int "arp request" (Some 1) (Cls.classify t arp_req);
+        let other = P.create (String.make 14 '\xff') in
+        opt_int "fallthrough" (Some 2) (Cls.classify t other);
+        (* Short frame can't match the 14-byte patterns, falls to '-' *)
+        let short = P.create "abc" in
+        opt_int "short" (Some 2) (Cls.classify t short));
+    Alcotest.test_case "classifier with mask" `Quick (fun () ->
+        let t = Cls.parse [ "0/40%f0" ] in
+        opt_int "0x45 matches" (Some 0) (Cls.classify t (P.create "\x45"));
+        opt_int "0x40 matches" (Some 0) (Cls.classify t (P.create "\x40"));
+        opt_int "0x55 no" None (Cls.classify t (P.create "\x55")));
+  ]
+
+let mask_of_len len =
+  if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+
+let random_route_list =
+  QCheck.Gen.(
+    let route =
+      let* len = int_range 0 32 in
+      let* hi = int_bound 0xffff in
+      let* lo = int_bound 0xffff in
+      let addr = (hi lsl 16) lor lo in
+      let* nh = int_range 0 50 in
+      return (addr land mask_of_len len, len, nh)
+    in
+    list_size (int_range 1 20) route)
+
+let props =
+  [
+    QCheck.Test.make ~count:100 ~name:"dir agrees with trie"
+      (QCheck.make
+         ~print:(fun routes ->
+           String.concat "; "
+             (List.map
+                (fun (p, l, n) ->
+                  Printf.sprintf "%s/%d->%d" (Ipv4.addr_to_string p) l n)
+                routes))
+         random_route_list)
+      (fun routes ->
+        (* Dir_lpm supports prefixes <= stride(16)+low(16); all ok. *)
+        let trie = Lpm.of_list routes in
+        let dir = Dir.of_routes routes in
+        let st = Random.State.make [| 7 |] in
+        let ok = ref true in
+        for _ = 1 to 200 do
+          let addr = Random.State.int st 0x3fffffff * 4 in
+          (* On ties (same prefix+len inserted twice with different nh),
+             both structures keep the last insert in their own order;
+             restrict the check to unambiguous tables. *)
+          if Lpm.lookup trie addr <> Dir.lookup dir addr then ok := false
+        done;
+        let unambiguous =
+          let tbl = Hashtbl.create 16 in
+          List.for_all
+            (fun (p, l, _) ->
+              let key = (p land (if l = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - l)) - 1)), l) in
+              if Hashtbl.mem tbl key then false
+              else begin
+                Hashtbl.add tbl key ();
+                true
+              end)
+            routes
+        in
+        QCheck.assume unambiguous;
+        !ok);
+    QCheck.Test.make ~count:100 ~name:"flow table model check"
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 60)
+                (pair (int_bound 30) (int_bound 1000)))
+      (fun ops ->
+        let t = Ft.create ~buckets:16 ~overflow:64 in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (k, v) ->
+            Ft.set t k v;
+            Hashtbl.replace model k v)
+          ops;
+        Hashtbl.fold
+          (fun k v acc -> acc && Ft.find t k = Some v)
+          model true
+        && Ft.count t = Hashtbl.length model);
+  ]
+
+let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest props

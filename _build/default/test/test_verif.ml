@@ -1,0 +1,377 @@
+(* The compositional verifier: the paper's Fig. 2 story, the IP-router
+   proof, counterexample extraction with runtime confirmation, the
+   stateful write-back check, reachability, and the monolithic
+   baseline. *)
+
+module B = Vdp_bitvec.Bitvec
+module T = Vdp_smt.Term
+module Ir = Vdp_ir.Types
+module P = Vdp_packet.Packet
+module Ipv4 = Vdp_packet.Ipv4
+module E = Vdp_symbex.Engine
+module S = Vdp_symbex.Sstate
+module Click = Vdp_click
+module V = Vdp_verif.Verifier
+module Mono = Vdp_verif.Monolithic
+module Kv = Vdp_verif.Kvmodel
+module Summaries = Vdp_verif.Summaries
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let router_config =
+  {|
+  cl :: Classifier(12/0800, -);
+  strip :: Strip(14);
+  chk :: CheckIPHeader;
+  opts :: IPGWOptions(9.9.9.1);
+  rt :: StaticIPLookup(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+  ttl :: DecIPTTL;
+  out :: EtherEncap(2048, 02:00:00:00:00:01, 02:00:00:00:00:02);
+  cl[0] -> strip -> chk -> opts -> ttl -> rt;
+  rt[0] -> out; rt[1] -> out; rt[2] -> out;
+  cl[1] -> Discard; chk[1] -> Discard; opts[1] -> Discard; ttl[1] -> Discard;
+  |}
+
+let proved r = r.V.verdict = V.Proved
+
+let violations r =
+  match r.V.verdict with V.Violated vs -> vs | _ -> []
+
+let fast_config =
+  (* Smaller packet bound keeps witness construction cheap in tests. *)
+  { V.default_config with
+    V.engine = { E.default_config with E.max_len = 128 } }
+
+let tests_unit =
+  [
+    Alcotest.test_case "fig2: E2 alone crashes, with witness" `Quick
+      (fun () ->
+        Summaries.clear ();
+        let r = V.check_crash_freedom ~config:fast_config
+            (Click.El_toy.e2_pipeline ()) in
+        let vs = violations r in
+        check_bool "violated" true (vs <> []);
+        let v =
+          match
+            List.find_opt
+              (fun v ->
+                match v.V.outcome with
+                | E.O_crash (E.C_assert _) -> true
+                | _ -> false)
+              vs
+          with
+          | Some v -> v
+          | None -> Alcotest.fail "expected the assert violation"
+        in
+        check_bool "witness reproduces on runtime" true v.V.confirmed;
+        match v.V.witness with
+        | Some pkt ->
+          check_bool "first byte negative" true (P.get_u8 pkt 0 >= 0x80)
+        | None -> Alcotest.fail "expected witness");
+    Alcotest.test_case "fig2: E1 -> E2 is crash-free (composition)" `Quick
+      (fun () ->
+        Summaries.clear ();
+        let r = V.check_crash_freedom ~config:fast_config
+            (Click.El_toy.fig2_pipeline ()) in
+        check_bool "proved" true (proved r);
+        (* E2's suspect existed but was refuted during composition. *)
+        check_bool "suspects found in isolation" true (r.V.stats.V.suspects > 0);
+        check_bool "all refuted" true (r.V.stats.V.refuted > 0));
+    Alcotest.test_case "router pipeline is crash-free" `Slow (fun () ->
+        Summaries.clear ();
+        let pl = Click.Config.parse router_config in
+        let r = V.check_crash_freedom pl in
+        check_bool "proved" true (proved r);
+        check_bool "many isolated suspects" true (r.V.stats.V.suspects >= 20));
+    Alcotest.test_case "summaries are cached per class+config" `Quick
+      (fun () ->
+        Summaries.clear ();
+        let mk name = Click.Registry.make ~name ~cls:"DecIPTTL" ~config:[] in
+        let dis name = Click.Registry.make ~name ~cls:"Discard" ~config:[] in
+        (* Chain where ttl appears twice; also two discards. *)
+        let pl =
+          Click.Pipeline.create
+            [ mk "a"; mk "b"; dis "d1"; dis "d2" ]
+            [ (0, 0, 1, 0); (0, 1, 2, 0); (1, 1, 3, 0) ]
+        in
+        Summaries.clear ();
+        let r = V.check_crash_freedom ~config:fast_config pl in
+        check_int "4 elements" 4 r.V.stats.V.elements;
+        check_int "2 unique summaries" 2 r.V.stats.V.unique_summaries;
+        (* a and b crash on short packets: violations at both nodes. *)
+        check_bool "violations found" true (violations r <> []));
+    Alcotest.test_case "buggy market element caught with crashing packet"
+      `Quick (fun () ->
+        Summaries.clear ();
+        (* Classifier guards, then the buggy div-by-zero element. *)
+        let pl =
+          Click.Pipeline.linear
+            [
+              Click.Registry.make ~name:"cl" ~cls:"Classifier"
+                ~config:[ "12/0800" ];
+              Click.Registry.make ~name:"strip" ~cls:"Strip" ~config:[ "14" ];
+              Click.Registry.make ~name:"chk" ~cls:"CheckIPHeader" ~config:[];
+              Click.Registry.make ~name:"q" ~cls:"BuggyQuota"
+                ~config:[ "1000" ];
+            ]
+        in
+        let r = V.check_crash_freedom ~config:fast_config pl in
+        let vs = violations r in
+        check_bool "violation found" true (vs <> []);
+        let div0 =
+          List.find_opt
+            (fun v -> v.V.outcome = E.O_crash E.C_div0)
+            vs
+        in
+        match div0 with
+        | Some v ->
+          check_bool "confirmed on runtime" true v.V.confirmed;
+          (* The witness must be a valid IPv4 frame with TTL 0 — the
+             solver had to satisfy the checksum to get it past
+             CheckIPHeader. *)
+          (match v.V.witness with
+          | Some pkt ->
+            let q = P.clone pkt in
+            P.pull q 14;
+            check_bool "valid header" true (Ipv4.header_ok q);
+            check_int "ttl zero" 0 (P.get_u8 q 8)
+          | None -> Alcotest.fail "expected witness")
+        | None -> Alcotest.fail "expected div-by-zero violation");
+    Alcotest.test_case "safe market element certifies" `Quick (fun () ->
+        Summaries.clear ();
+        let pl =
+          Click.Pipeline.linear
+            [
+              Click.Registry.make ~name:"cl" ~cls:"Classifier"
+                ~config:[ "12/0800" ];
+              Click.Registry.make ~name:"strip" ~cls:"Strip" ~config:[ "14" ];
+              Click.Registry.make ~name:"chk" ~cls:"CheckIPHeader" ~config:[];
+              Click.Registry.make ~name:"dpi" ~cls:"SafeDPI"
+                ~config:[ "144"; "32" ];
+            ]
+        in
+        let r = V.check_crash_freedom ~config:fast_config pl in
+        check_bool "proved" true (proved r));
+    Alcotest.test_case "instruction bound is sound on workload" `Slow
+      (fun () ->
+        Summaries.clear ();
+        let pl = Click.Config.parse router_config in
+        let r = V.instruction_bound pl in
+        let bound =
+          match r.V.bound with
+          | Some b -> b
+          | None -> Alcotest.fail "expected a bound"
+        in
+        (* No concrete packet may exceed the proved bound. *)
+        let inst = Click.Runtime.instantiate pl in
+        let st = Random.State.make [| 5 |] in
+        for _ = 1 to 2000 do
+          let pkt =
+            if Random.State.bool st then
+              Vdp_packet.Gen.random_frame ~min_len:1 ~max_len:96 st
+            else
+              Vdp_packet.Gen.corrupt st
+                (Vdp_packet.Gen.frame_of_flow (Vdp_packet.Gen.random_flow st))
+          in
+          let run = Click.Runtime.push inst pkt in
+          check_bool "within bound" true
+            (run.Click.Runtime.total_instrs <= bound)
+        done;
+        (* Frames with options exercise the summarised loop. *)
+        for i = 1 to 200 do
+          let f = Vdp_packet.Gen.random_flow st in
+          let options =
+            String.concat ""
+              [ String.make (i mod 16) '\x01'; "\x07\x07\x04"; "\x00\x00\x00\x00" ]
+          in
+          let pkt = Vdp_packet.Gen.frame_with_options ~options f in
+          let run = Click.Runtime.push inst pkt in
+          check_bool "options within bound" true
+            (run.Click.Runtime.total_instrs <= bound)
+        done);
+    Alcotest.test_case "reachability: 10/8 not dropped when well-formed"
+      `Slow (fun () ->
+        Summaries.clear ();
+        let pl = Click.Config.parse router_config in
+        (* Assumption: minimal well-formed IPv4 unicast to 10/8 without
+           options and ttl > 1 and correct checksum. Build as terms. *)
+        let byte j = T.var (S.byte_var j) 8 in
+        let len = T.var S.len_var 16 in
+        let assume =
+          [
+            (* Ethernet: IPv4 ethertype *)
+            T.eq (byte 12) (T.bv_int ~width:8 0x08);
+            T.eq (byte 13) (T.bv_int ~width:8 0x00);
+            (* version 4, ihl 5 *)
+            T.eq (byte 14) (T.bv_int ~width:8 0x45);
+            (* no fragmentation magic needed; total_len = len - 14 *)
+            T.eq
+              (T.concat (byte 16) (byte 17))
+              (T.sub len (T.bv_int ~width:16 14));
+            T.ule (T.bv_int ~width:16 34) len;
+            T.ule len (T.bv_int ~width:16 128);
+            (* ttl > 1 *)
+            T.ugt (byte 22) (T.bv_int ~width:8 1);
+            (* dst in 10/8 *)
+            T.eq (byte 30) (T.bv_int ~width:8 10);
+            (* header checksum correct: sum of the ten 16-bit words
+               equals 0xffff after folding. Encode via the checksum
+               identity: sum16(words) + carry folds = 0xffff. *)
+            (let words =
+               List.init 10 (fun i ->
+                   T.zext 32 (T.concat (byte (14 + (2 * i))) (byte (15 + (2 * i)))))
+             in
+             let total = List.fold_left T.add (T.bv_int ~width:32 0) words in
+             let fold1 =
+               T.add
+                 (T.band total (T.bv_int ~width:32 0xffff))
+                 (T.lshr total (T.bv_int ~width:32 16))
+             in
+             let fold2 =
+               T.add
+                 (T.band fold1 (T.bv_int ~width:32 0xffff))
+                 (T.lshr fold1 (T.bv_int ~width:32 16))
+             in
+             T.eq (T.extract ~hi:15 ~lo:0 fold2) (T.bv_int ~width:16 0xffff));
+          ]
+        in
+        let config =
+          { V.default_config with
+            V.assume;
+            V.engine = { E.default_config with E.max_len = 128 } }
+        in
+        let bad = function
+          | V.End_drop _ | V.End_crash _ -> true
+          | V.End_egress _ -> false
+        in
+        let r = V.check_reachability ~config ~bad pl in
+        check_bool "proved" true (proved r));
+    Alcotest.test_case "reachability finds dropped traffic without assumption"
+      `Quick (fun () ->
+        Summaries.clear ();
+        let pl = Click.El_toy.fig2_pipeline () in
+        (* Toy pipeline never drops; E2's crash is infeasible; so 'never
+           drop' is proved... while for a Discard pipeline it is not. *)
+        let bad = function
+          | V.End_drop _ -> true
+          | V.End_crash _ | V.End_egress _ -> false
+        in
+        (* Non-empty frames only: the toys drop zero-length frames. *)
+        let nonempty =
+          T.ugt (T.var S.len_var 16) (T.bv_int ~width:16 0)
+        in
+        let config = { fast_config with V.assume = [ nonempty ] } in
+        let r = V.check_reachability ~config ~bad pl in
+        check_bool "toy never drops" true (proved r);
+        let dpl =
+          Click.Pipeline.linear
+            [ Click.Registry.make ~name:"d" ~cls:"Discard" ~config:[] ]
+        in
+        let r2 = V.check_reachability ~config:fast_config ~bad dpl in
+        check_bool "discard pipeline drops" true (violations r2 <> []));
+    Alcotest.test_case "monolithic baseline completes on tiny pipeline"
+      `Quick (fun () ->
+        let pl = Click.El_toy.fig2_pipeline () in
+        match Mono.check_crash_freedom pl with
+        | Mono.Completed { verdict = `Proved; _ } -> ()
+        | Mono.Completed { verdict = `Violated _; _ } ->
+          Alcotest.fail "fig2 pipeline is crash-free"
+        | Mono.Did_not_finish _ -> Alcotest.fail "tiny pipeline must finish");
+    Alcotest.test_case "monolithic baseline DNFs on the options pipeline"
+      `Slow (fun () ->
+        let pl = Click.Config.parse router_config in
+        let engine_config =
+          { Mono.default_engine_config with E.max_paths = 20_000 }
+        in
+        match Mono.check_crash_freedom ~engine_config ~time_limit:60. pl with
+        | Mono.Did_not_finish _ -> ()
+        | Mono.Completed _ ->
+          Alcotest.fail "expected the monolithic baseline to exceed budget");
+    Alcotest.test_case "kvmodel: counter overflow is writable" `Quick
+      (fun () ->
+        Summaries.clear ();
+        let prog = Click.El_market.buggy_counter () in
+        let summary = E.explore prog in
+        (* The crash segment constrains the read value to 0xff. *)
+        let crash =
+          List.find
+            (fun s ->
+              match s.E.outcome with
+              | E.O_crash (E.C_assert _) -> true
+              | _ -> false)
+            summary.E.segments
+        in
+        let read_var =
+          List.find_map
+            (function
+              | S.Kv_read { value; _ } -> Some value
+              | _ -> None)
+            crash.E.kv_log
+          |> Option.get
+        in
+        (* Bad value 0xff: not the default (0), but writable via the
+           increment chain. *)
+        (match
+           Kv.check_provenance ~summary ~store:"c8" ~default:(B.zero 8)
+             ~read_var crash.E.cond
+         with
+        | Kv.Written _ -> ()
+        | Kv.Default_value -> Alcotest.fail "0xff is not the default"
+        | Kv.Unwritable -> Alcotest.fail "0xff is writable (254 + 1)");
+        (* Impossible value: constrain the read to something no write
+           produces AND not default — e.g. a value forbidden by an
+           extra constraint n = 0xff && n = 0x7f. *)
+        let impossible = T.eq read_var (T.bv_int ~width:8 0x7f) in
+        match
+          Kv.check_provenance ~summary ~store:"c8" ~default:(B.zero 8)
+            ~read_var (impossible :: crash.E.cond)
+        with
+        | Kv.Unwritable | Kv.Written _ | Kv.Default_value ->
+          (* 0x7f & 0xff conflict: must be unwritable *)
+          check_bool "conflicting value unwritable" true
+            (match
+               Kv.check_provenance ~summary ~store:"c8" ~default:(B.zero 8)
+                 ~read_var (impossible :: crash.E.cond)
+             with
+            | Kv.Unwritable -> true
+            | _ -> false));
+    Alcotest.test_case "witness packets are minimal-effort valid inputs"
+      `Quick (fun () ->
+        Summaries.clear ();
+        (* Strip(20) alone: witness must be shorter than 20 bytes. *)
+        let pl =
+          Click.Pipeline.linear
+            [ Click.Registry.make ~name:"s" ~cls:"Strip" ~config:[ "20" ] ]
+        in
+        let r = V.check_crash_freedom ~config:fast_config pl in
+        match violations r with
+        | [ v ] ->
+          check_bool "confirmed" true v.V.confirmed;
+          (match v.V.witness with
+          | Some pkt -> check_bool "short" true (P.length pkt < 20)
+          | None -> Alcotest.fail "expected witness")
+        | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  ]
+
+(* Composition soundness oracle: the composite verdicts must agree with
+   brute-force concrete execution on random packets. If the verifier
+   proved crash-freedom, no packet may crash the runtime. *)
+let no_crash_after_proof =
+  QCheck.Test.make ~count:60 ~name:"proved pipeline never crashes (fuzz)"
+    (QCheck.make ~print:string_of_int QCheck.Gen.int)
+    (fun seed ->
+      let pl = Click.Config.parse router_config in
+      let inst = Click.Runtime.instantiate pl in
+      let st = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let pkt = Vdp_packet.Gen.random_frame ~min_len:1 ~max_len:90 st in
+        match (Click.Runtime.push inst pkt).Click.Runtime.final with
+        | Click.Runtime.Crashed_at _ -> ok := false
+        | _ -> ()
+      done;
+      !ok)
+
+let tests =
+  tests_unit @ List.map QCheck_alcotest.to_alcotest [ no_crash_after_proof ]
