@@ -1,0 +1,20 @@
+# Convenience targets; `make ci` is what the CI job runs.
+
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+ci: build
+	dune runtest
+
+clean:
+	dune clean

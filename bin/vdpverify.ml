@@ -30,6 +30,17 @@ let monolithic_arg =
   in
   Arg.(value & flag & info [ "monolithic" ] ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Re-solve each composite condition from scratch instead of carrying one \
+     incremental solver context down the exploration."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the Step-2 query cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let load path =
   try Ok (Vdp_click.Config.parse_file path) with
   | Vdp_click.Config.Parse_error m ->
@@ -40,14 +51,16 @@ let load path =
     Error (Printf.sprintf "bad configuration for %s: %s" cls m)
   | Invalid_argument m -> Error m
 
-let verifier_config max_len =
+let verifier_config max_len ~no_incremental ~no_cache =
   {
     V.default_config with
     V.engine = { E.default_config with E.max_len };
+    V.incremental = not no_incremental;
+    V.cache = not no_cache;
   }
 
 let crash_cmd =
-  let run config_path max_len monolithic budget =
+  let run config_path max_len monolithic budget no_incremental no_cache =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -77,7 +90,8 @@ let crash_cmd =
           2
       end
       else begin
-        let r = V.check_crash_freedom ~config:(verifier_config max_len) pl in
+        let config = verifier_config max_len ~no_incremental ~no_cache in
+        let r = V.check_crash_freedom ~config pl in
         Format.printf "%a@." Vdp_verif.Report.pp_report r;
         match r.V.verdict with V.Proved -> 0 | _ -> 2
       end
@@ -86,21 +100,26 @@ let crash_cmd =
   Cmd.v
     (Cmd.info "crash" ~doc)
     Term.(
-      const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg)
+      const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg
+      $ no_incremental_arg $ no_cache_arg)
 
 let bound_cmd =
-  let run config_path max_len =
+  let run config_path max_len no_incremental no_cache =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
       1
     | Ok pl ->
-      let r = V.instruction_bound ~config:(verifier_config max_len) pl in
+      let config = verifier_config max_len ~no_incremental ~no_cache in
+      let r = V.instruction_bound ~config pl in
       Format.printf "%a@." Vdp_verif.Report.pp_bound_report r;
       (match r.V.b_verdict with V.Proved -> 0 | _ -> 2)
   in
   let doc = "Prove a per-packet instruction bound and find the witness." in
-  Cmd.v (Cmd.info "bound" ~doc) Term.(const run $ config_arg $ max_len_arg)
+  Cmd.v
+    (Cmd.info "bound" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ no_incremental_arg $ no_cache_arg)
 
 let show_cmd =
   let run config_path =

@@ -27,12 +27,19 @@ type t = {
   overrides : (int, T.t) Hashtbl.t;  (** window offset -> byte term *)
   len : T.t;
   meta : (Ir.meta * T.t) list;
-  cond : T.t list;        (** accumulated constraints, oldest first *)
+  cond : T.t list;
+      (** accumulated constraints, {e newest first}; the tail beyond
+          [new_cond] physically shares the predecessor state's list, so
+          a deep path costs O(|segment|) per step, not O(|path|) *)
+  new_cond : T.t list;
+      (** the constraints contributed by the latest {!apply} (or the
+          assumptions of {!initial}) — exactly the delta a caller must
+          assert into a fresh incremental solver scope *)
   instr_lo : int;
   instr_hi : int;
   summarized : bool;
   kv_trace : (string * S.kv_event) list;
-      (** (position tag, renamed event), oldest first *)
+      (** (position tag, renamed event), newest first *)
 }
 
 let initial ?(assume = []) () =
@@ -42,6 +49,7 @@ let initial ?(assume = []) () =
     len = T.var S.len_var 16;
     meta = [];
     cond = assume;
+    new_cond = assume;
     instr_lo = 0;
     instr_hi = 0;
     summarized = false;
@@ -149,11 +157,12 @@ let apply st ~tag (seg : Engine.segment) =
     overrides;
     len = xf out.Engine.len_out;
     meta;
-    cond = st.cond @ new_cond;
+    cond = List.rev_append new_cond st.cond;
+    new_cond;
     instr_lo = st.instr_lo + seg.Engine.instr_lo;
     instr_hi = st.instr_hi + seg.Engine.instr_hi;
     summarized = st.summarized || seg.Engine.summarized;
-    kv_trace = st.kv_trace @ kv_new;
+    kv_trace = List.rev_append kv_new st.kv_trace;
   }
 
 (** Cheap infeasibility filter for pruning during path enumeration. *)

@@ -11,18 +11,26 @@ type entry = {
   time : float;  (** seconds spent symbexing this element *)
 }
 
-let cache : (string, entry) Hashtbl.t = Hashtbl.create 32
+type cache = (string, entry) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 32
+
+(* The default, process-wide cache. Callers that need isolation (e.g. a
+   future parallel Step 1 with one worker per domain) pass their own
+   [~cache] instead of mutating this one. *)
+let cache : cache = create_cache ()
 
 let clear () = Hashtbl.reset cache
 
-let summarize ?(config = Engine.default_config) (e : Element.t) : entry =
+let summarize ?(cache = cache) ?(config = Engine.default_config)
+    (e : Element.t) : entry =
   let key = Element.summary_key e in
   match Hashtbl.find_opt cache key with
   | Some entry -> entry
   | None ->
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let result = Engine.explore ~config e.Element.program in
-    let entry = { result; time = Sys.time () -. t0 } in
+    let entry = { result; time = Unix.gettimeofday () -. t0 } in
     Hashtbl.add cache key entry;
     entry
 
@@ -32,8 +40,8 @@ let is_suspect_crash (seg : Engine.segment) =
   | Engine.O_emit _ | Engine.O_drop -> false
 
 (** Summaries for every node of a pipeline (sharing identical ones). *)
-let of_pipeline ?config (pl : Vdp_click.Pipeline.t) : entry array =
+let of_pipeline ?cache ?config (pl : Vdp_click.Pipeline.t) : entry array =
   Array.map
     (fun (n : Vdp_click.Pipeline.node) ->
-      summarize ?config n.Vdp_click.Pipeline.element)
+      summarize ?cache ?config n.Vdp_click.Pipeline.element)
     (Vdp_click.Pipeline.nodes pl)

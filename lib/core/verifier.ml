@@ -10,7 +10,18 @@
     Crash-freedom exploration only descends into subtrees that can
     still reach a suspect segment — the pruning that, combined with
     per-element summary caching, gives the paper's exponential-to-
-    linear collapse. *)
+    linear collapse.
+
+    Step-2 feasibility checks run, by default, against one {e
+    incremental} solver context carried down the composition DFS: each
+    descent pushes a scope and asserts only the new segment's
+    constraints, each return pops it, and the solver keeps its blasted
+    term DAG and learned clauses throughout. A shared query cache
+    additionally memoizes identical composite conditions (common across
+    properties on the same pipeline). [config.incremental = false]
+    restores flat per-check solving; [config.cache = false] disables
+    memoization — both escape hatches exist so the two modes can be
+    differentially tested and benchmarked against each other. *)
 
 module B = Vdp_bitvec.Bitvec
 module T = Vdp_smt.Term
@@ -30,6 +41,9 @@ type config = {
   assume : T.t list;    (** extra assumptions on the input packet *)
   validate_witnesses : bool;
   max_composite_paths : int;
+  incremental : bool;
+      (** carry one push/pop solver context down the Step-2 DFS *)
+  cache : bool;  (** memoize Step-2 queries in [Solver.shared_cache] *)
 }
 
 let default_config =
@@ -39,6 +53,8 @@ let default_config =
     assume = [];
     validate_witnesses = true;
     max_composite_paths = 2_000_000;
+    incremental = true;
+    cache = true;
   }
 
 type violation = {
@@ -91,17 +107,61 @@ type report = {
 
 (* {1 Shared plumbing} *)
 
+(* Wall clock, not CPU time: the bench harness compares against
+   [Unix.gettimeofday]-based timings, and CPU time under-reports once
+   solving is incremental (or, later, parallel). *)
+let now () = Unix.gettimeofday ()
+
+(* The Step-2 solving strategy. In incremental mode the context is
+   maintained so that, on entry to [visit node st], it holds exactly
+   the constraints of [st.cond]; flat mode re-solves [st.cond] from
+   scratch at every suspect. *)
+type step2 =
+  | Flat of Solver.Cache.t option
+  | Incremental of Solver.ctx
+
+let make_step2 cfg =
+  let cache = if cfg.cache then Some Solver.shared_cache else None in
+  if cfg.incremental then Incremental (Solver.create_ctx ?cache ())
+  else Flat cache
+
+(* Enter the composite state [st]: in incremental mode, open a scope
+   holding exactly the constraints [apply] just added. *)
+let enter step2 (st : Compose.t) =
+  match step2 with
+  | Flat _ -> ()
+  | Incremental c ->
+    Solver.push c;
+    Solver.assert_terms c st.Compose.new_cond
+
+let leave = function
+  | Flat _ -> ()
+  | Incremental c -> Solver.pop c
+
+(* Check feasibility of [st.cond @ extra]. Incremental-mode invariant:
+   the context currently holds [st.cond]. *)
+let check_state step2 ~max_conflicts (st : Compose.t) extra =
+  match step2 with
+  | Flat cache -> Solver.check ?cache ~max_conflicts (extra @ st.Compose.cond)
+  | Incremental c ->
+    if extra = [] then Solver.check_ctx ~max_conflicts c
+    else begin
+      Solver.push c;
+      Solver.assert_terms c extra;
+      let r = Solver.check_ctx ~max_conflicts c in
+      Solver.pop c;
+      r
+    end
+
 (* Prefer short witnesses: retry the query under increasingly loose
    length bounds and keep the first satisfiable one. Purely cosmetic —
    soundness only needs the final unbounded attempt. *)
-let check_small ~max_conflicts cond =
+let check_small step2 ~max_conflicts (st : Compose.t) =
   let rec try_bounds = function
-    | [] -> Solver.check ~max_conflicts cond
+    | [] -> check_state step2 ~max_conflicts st []
     | b :: rest -> (
-      let bounded =
-        T.ule (T.var S.len_var 16) (T.bv_int ~width:16 b) :: cond
-      in
-      match Solver.check ~max_conflicts bounded with
+      let bound = T.ule (T.var S.len_var 16) (T.bv_int ~width:16 b) in
+      match check_state step2 ~max_conflicts st [ bound ] with
       | Solver.Sat m -> Solver.Sat m
       | Solver.Unsat | Solver.Unknown -> try_bounds rest)
   in
@@ -113,10 +173,10 @@ let base_assumptions cfg =
   :: cfg.assume
 
 let step1 cfg (pl : Click.Pipeline.t) stats =
-  let t0 = Sys.time () in
+  let t0 = now () in
   let before = Hashtbl.length Summaries.cache in
   let summaries = Summaries.of_pipeline ~config:cfg.engine pl in
-  stats.step1_time <- Sys.time () -. t0;
+  stats.step1_time <- now () -. t0;
   stats.elements <- Array.length summaries;
   stats.unique_summaries <- Hashtbl.length Summaries.cache - before;
   stats.segments_total <-
@@ -177,7 +237,8 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
             (List.filter Summaries.is_suspect_crash
                e.Summaries.result.Engine.segments))
     summaries;
-  let t0 = Sys.time () in
+  let t0 = now () in
+  let step2 = make_step2 config in
   let violations = ref [] in
   let unknowns = ref 0 in
   let exception Path_budget in
@@ -192,8 +253,9 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
         | Engine.O_crash _ ->
           let st' = Compose.apply st ~tag seg in
           stats.suspect_checks <- stats.suspect_checks + 1;
+          enter step2 st';
           (match
-             check_small ~max_conflicts:config.solver_budget st'.Compose.cond
+             check_small step2 ~max_conflicts:config.solver_budget st'
            with
           | Solver.Unsat -> stats.refuted <- stats.refuted + 1
           | Solver.Unknown ->
@@ -226,7 +288,8 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
                 confirmed;
                 stateful;
               }
-              :: !violations)
+              :: !violations);
+          leave step2
         | Engine.O_drop -> ()
         | Engine.O_emit p -> (
           match nodes.(node).Click.Pipeline.outputs.(p) with
@@ -234,19 +297,27 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
           | Some (dst, _) ->
             if has_suspect.(dst) then begin
               let st' = Compose.apply st ~tag seg in
-              if Compose.plausible st' then visit dst st'
+              if Compose.plausible st' then begin
+                enter step2 st';
+                visit dst st';
+                leave step2
+              end
             end))
       summaries.(node).Summaries.result.Engine.segments
   in
   let entry = Click.Pipeline.entry pl in
   let budget_hit =
     try
-      if has_suspect.(entry) then
-        visit entry (Compose.initial ~assume:(base_assumptions config) ());
+      if has_suspect.(entry) then begin
+        let st0 = Compose.initial ~assume:(base_assumptions config) () in
+        enter step2 st0;
+        visit entry st0;
+        leave step2
+      end;
       false
     with Path_budget -> true
   in
-  stats.step2_time <- Sys.time () -. t0;
+  stats.step2_time <- now () -. t0;
   let verdict =
     if !violations <> [] then Violated (List.rev !violations)
     else if budget_hit then Unknown "composite path budget exceeded"
@@ -261,7 +332,10 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
 
 type bound_report = {
   bound : int option;  (** max instructions over feasible paths *)
-  exact : bool;        (** false if any loop summary contributed slack *)
+  exact : bool;
+      (** false if any loop summary contributed slack, or if a
+          candidate path longer than [bound] came back [Unknown] (the
+          true maximum might then exceed the reported one) *)
   witness : Vdp_packet.Packet.t option;
   measured : int option;
       (** instructions the runtime actually spent on the witness *)
@@ -274,9 +348,53 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
   let stats = fresh_stats () in
   let summaries = step1 config pl stats in
   let nodes = Click.Pipeline.nodes pl in
-  let t0 = Sys.time () in
+  let t0 = now () in
+  let step2 = make_step2 config in
+  (* Best feasible path so far: (instr_hi, summarized, witness). *)
+  let best : (int * bool * Vdp_packet.Packet.t) option ref = ref None in
+  (* Longest candidate that came back Unknown; if it exceeds the final
+     bound, the bound may undercount and must not be reported exact. *)
+  let unknown_hi = ref (-1) in
   let completed : (Compose.t * bool) list ref = ref [] in
-  (* (final state, ended-in-crash) *)
+  (* (final state, ended-in-crash) — flat mode only *)
+  let record_unknown (st : Compose.t) =
+    stats.unknown_checks <- stats.unknown_checks + 1;
+    if st.Compose.instr_hi > !unknown_hi then unknown_hi := st.Compose.instr_hi
+  in
+  (* Incremental mode checks each completed path as the DFS reaches it
+     (sharing the prefix context), keeping the running maximum; only
+     paths that could raise the maximum are checked. *)
+  let leaf (st' : Compose.t) =
+    match step2 with
+    | Flat _ -> ()
+    | Incremental _ ->
+      let improves =
+        match !best with
+        | None -> true
+        | Some (b, _, _) -> st'.Compose.instr_hi > b
+      in
+      if improves then begin
+        stats.suspect_checks <- stats.suspect_checks + 1;
+        enter step2 st';
+        (match check_state step2 ~max_conflicts:config.solver_budget st' []
+         with
+        | Solver.Sat model ->
+          best :=
+            Some
+              ( st'.Compose.instr_hi,
+                st'.Compose.summarized,
+                Compose.witness_packet model
+                  ~max_len:config.engine.Engine.max_len )
+        | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+        | Solver.Unknown -> record_unknown st');
+        leave step2
+      end
+  in
+  let complete st' crashed =
+    match step2 with
+    | Flat _ -> completed := (st', crashed) :: !completed
+    | Incremental _ -> leaf st'
+  in
   let exception Path_budget in
   let rec visit node (st : Compose.t) =
     stats.composite_paths <- stats.composite_paths + 1;
@@ -288,47 +406,65 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
         let st' = Compose.apply st ~tag seg in
         if Compose.plausible st' then
           match seg.Engine.outcome with
-          | Engine.O_crash _ -> completed := (st', true) :: !completed
-          | Engine.O_drop -> completed := (st', false) :: !completed
+          | Engine.O_crash _ -> complete st' true
+          | Engine.O_drop -> complete st' false
           | Engine.O_emit p -> (
             match nodes.(node).Click.Pipeline.outputs.(p) with
-            | None -> completed := (st', false) :: !completed
-            | Some (dst, _) -> visit dst st'))
+            | None -> complete st' false
+            | Some (dst, _) ->
+              enter step2 st';
+              visit dst st';
+              leave step2))
       summaries.(node).Summaries.result.Engine.segments
   in
   let budget_hit =
     try
-      visit (Click.Pipeline.entry pl)
-        (Compose.initial ~assume:(base_assumptions config) ());
+      let st0 = Compose.initial ~assume:(base_assumptions config) () in
+      enter step2 st0;
+      visit (Click.Pipeline.entry pl) st0;
+      leave step2;
       false
     with Path_budget -> true
   in
-  (* Longest first; the first satisfiable path gives the bound. *)
-  let candidates =
-    List.sort
-      (fun ((a : Compose.t), _) (b, _) ->
-        Stdlib.compare b.Compose.instr_hi a.Compose.instr_hi)
-      !completed
+  (match step2 with
+  | Incremental _ -> ()
+  | Flat cache ->
+    (* Longest first; the first satisfiable path gives the bound. *)
+    let candidates =
+      List.sort
+        (fun ((a : Compose.t), _) (b, _) ->
+          Stdlib.compare b.Compose.instr_hi a.Compose.instr_hi)
+        !completed
+    in
+    let rec search = function
+      | [] -> ()
+      | ((st : Compose.t), _crashed) :: rest -> (
+        stats.suspect_checks <- stats.suspect_checks + 1;
+        match
+          Solver.check ?cache ~max_conflicts:config.solver_budget
+            st.Compose.cond
+        with
+        | Solver.Sat model ->
+          best :=
+            Some
+              ( st.Compose.instr_hi,
+                st.Compose.summarized,
+                Compose.witness_packet model
+                  ~max_len:config.engine.Engine.max_len )
+        | Solver.Unsat ->
+          stats.refuted <- stats.refuted + 1;
+          search rest
+        | Solver.Unknown ->
+          record_unknown st;
+          search rest)
+    in
+    search candidates);
+  let bound, exact, witness =
+    match !best with
+    | Some (b, summarized, w) ->
+      (Some b, (not summarized) && !unknown_hi <= b, Some w)
+    | None -> (None, false, None)
   in
-  let rec search = function
-    | [] -> (None, false, None)
-    | ((st : Compose.t), _crashed) :: rest -> (
-      stats.suspect_checks <- stats.suspect_checks + 1;
-      match Solver.check ~max_conflicts:config.solver_budget st.Compose.cond with
-      | Solver.Sat model ->
-        ( Some st.Compose.instr_hi,
-          not st.Compose.summarized,
-          Some
-            (Compose.witness_packet model
-               ~max_len:config.engine.Engine.max_len) )
-      | Solver.Unsat ->
-        stats.refuted <- stats.refuted + 1;
-        search rest
-      | Solver.Unknown ->
-        stats.unknown_checks <- stats.unknown_checks + 1;
-        search rest)
-  in
-  let bound, exact, witness = search candidates in
   let measured =
     match witness with
     | Some pkt when config.validate_witnesses ->
@@ -337,7 +473,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
       Some r.Click.Runtime.total_instrs
     | _ -> None
   in
-  stats.step2_time <- Sys.time () -. t0;
+  stats.step2_time <- now () -. t0;
   let verdict =
     if budget_hit then Unknown "composite path budget exceeded"
     else if any_incomplete summaries then
@@ -370,13 +506,15 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
   let stats = fresh_stats () in
   let summaries = step1 config pl stats in
   let nodes = Click.Pipeline.nodes pl in
-  let t0 = Sys.time () in
+  let t0 = now () in
+  let step2 = make_step2 config in
   let violations = ref [] in
   let unknowns = ref 0 in
+  (* Incremental-mode precondition: the context holds [st.cond]. *)
   let check_end node (st : Compose.t) outcome path_end =
     if bad path_end then begin
       stats.suspect_checks <- stats.suspect_checks + 1;
-      match check_small ~max_conflicts:config.solver_budget st.Compose.cond with
+      match check_small step2 ~max_conflicts:config.solver_budget st with
       | Solver.Unsat -> stats.refuted <- stats.refuted + 1
       | Solver.Unknown ->
         stats.unknown_checks <- stats.unknown_checks + 1;
@@ -410,27 +548,38 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
         if Compose.plausible st' then
           match seg.Engine.outcome with
           | Engine.O_crash _ ->
-            check_end node st' seg.Engine.outcome (End_crash node)
+            enter step2 st';
+            check_end node st' seg.Engine.outcome (End_crash node);
+            leave step2
           | Engine.O_drop ->
-            check_end node st' seg.Engine.outcome (End_drop node)
+            enter step2 st';
+            check_end node st' seg.Engine.outcome (End_drop node);
+            leave step2
           | Engine.O_emit p -> (
             match nodes.(node).Click.Pipeline.outputs.(p) with
             | None -> (
               match Click.Pipeline.egress_index pl ~node ~port:p with
               | Some e ->
-                check_end node st' seg.Engine.outcome (End_egress e)
+                enter step2 st';
+                check_end node st' seg.Engine.outcome (End_egress e);
+                leave step2
               | None -> ())
-            | Some (dst, _) -> visit dst st'))
+            | Some (dst, _) ->
+              enter step2 st';
+              visit dst st';
+              leave step2))
       summaries.(node).Summaries.result.Engine.segments
   in
   let budget_hit =
     try
-      visit (Click.Pipeline.entry pl)
-        (Compose.initial ~assume:(base_assumptions config) ());
+      let st0 = Compose.initial ~assume:(base_assumptions config) () in
+      enter step2 st0;
+      visit (Click.Pipeline.entry pl) st0;
+      leave step2;
       false
     with Path_budget -> true
   in
-  stats.step2_time <- Sys.time () -. t0;
+  stats.step2_time <- now () -. t0;
   let verdict =
     if !violations <> [] then Violated (List.rev !violations)
     else if budget_hit then Unknown "composite path budget exceeded"

@@ -298,6 +298,15 @@ and compute_bool ctx (t : Term.t) : int =
 
 let assert_term ctx t = clause ctx [ lit_of_bool ctx t ]
 
+(* Scoped assertion: the constraint binds only while [selector] is
+   assumed true, so a solver context can retire it by dropping (or
+   permanently negating) the selector. Only the root clause is guarded:
+   the Tseitin clauses produced while translating [t] merely define
+   fresh gate literals, are valid unconditionally, and therefore stay
+   shared across scopes via the per-term caches. *)
+let assert_under ctx ~selector t =
+  clause ctx [ Sat.lit_not selector; lit_of_bool ctx t ]
+
 (* {1 Model extraction (after a Sat result)} *)
 
 let lit_model_value ctx l =

@@ -238,10 +238,26 @@ let add_clause_internal s lits learned =
   attach_clause s cid;
   cid
 
-let add_clause s lits =
+let rec backtrack s level =
+  if decision_level s > level then begin
+    let bound = Vec.get s.trail_lim level in
+    for i = Vec.len s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = lit_var l in
+      s.assigns.(v) <- -1;
+      s.reasons.(v) <- -1;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim level;
+    s.qhead <- bound
+  end
+
+and add_clause s lits =
   if not s.unsat then begin
-    (* Level-0 simplification: drop false literals, detect tautologies and
-       already-satisfied clauses. Callers only add clauses at level 0. *)
+    (* Simplification below inspects the level-0 assignment, so leave any
+       decisions from a previous [solve] first. *)
+    backtrack s 0;
     let lits = List.sort_uniq Stdlib.compare lits in
     let tautology =
       List.exists (fun l -> List.mem (lit_not l) lits) lits
@@ -363,21 +379,6 @@ let analyze s conflict_cid =
   List.iter (fun l -> s.seen.(lit_var l) <- false) !learned;
   (learned_lits, !btlevel)
 
-let backtrack s level =
-  if decision_level s > level then begin
-    let bound = Vec.get s.trail_lim level in
-    for i = Vec.len s.trail - 1 downto bound do
-      let l = Vec.get s.trail i in
-      let v = lit_var l in
-      s.assigns.(v) <- -1;
-      s.reasons.(v) <- -1;
-      heap_insert s v
-    done;
-    Vec.shrink s.trail bound;
-    Vec.shrink s.trail_lim level;
-    s.qhead <- bound
-  end
-
 let pick_branch_var s =
   let v = ref (-1) in
   while !v = -1 && s.heap_len > 0 do
@@ -394,9 +395,14 @@ let rec luby i =
   if sz - 1 = i then float_of_int (1 lsl n)
   else luby (i - ((sz - 1) / 2))
 
-let solve ?(max_conflicts = max_int) s =
+let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
+  (* Restart the search from scratch (learned clauses, activities and
+     saved phases persist); a previous Sat call leaves its trail in
+     place for [value], so clear it here. *)
+  backtrack s 0;
   if s.unsat then Unsat
   else begin
+    let assumps = Array.of_list assumptions in
     let status = ref None in
     let restart_idx = ref 0 in
     let conflicts_at_start = s.conflicts in
@@ -410,7 +416,12 @@ let solve ?(max_conflicts = max_int) s =
         if cid >= 0 then begin
           s.conflicts <- s.conflicts + 1;
           incr local_conflicts;
-          if decision_level s = 0 then status := Some Unsat
+          if decision_level s = 0 then begin
+            (* A level-0 conflict involves no assumptions: the clause
+               database itself is unsatisfiable, permanently. *)
+            s.unsat <- true;
+            status := Some Unsat
+          end
           else begin
             let learned, btlevel = analyze s cid in
             backtrack s btlevel;
@@ -427,22 +438,44 @@ let solve ?(max_conflicts = max_int) s =
           end
         end
         else begin
-          let v = pick_branch_var s in
-          if v = -1 then status := Some Sat
+          let dl = decision_level s in
+          if dl < Array.length assumps then begin
+            (* Assumption literals are decided first, in order, one per
+               decision level (so restarts re-establish them). Learned
+               clauses never resolve on assumption decisions, so clause
+               learning stays sound across assumption sets. *)
+            let al = assumps.(dl) in
+            match lit_value s al with
+            | 0 ->
+              (* Implied false by the clauses + earlier assumptions:
+                 unsat under these assumptions only. *)
+              status := Some Unsat
+            | 1 ->
+              (* Already implied true; keep the level/index alignment
+                 with an empty decision level. *)
+              Vec.push s.trail_lim (Vec.len s.trail)
+            | _ ->
+              Vec.push s.trail_lim (Vec.len s.trail);
+              enqueue s al (-1)
+          end
           else begin
-            s.decisions <- s.decisions + 1;
-            Vec.push s.trail_lim (Vec.len s.trail);
-            enqueue s (lit v s.phase.(v)) (-1)
+            let v = pick_branch_var s in
+            if v = -1 then status := Some Sat
+            else begin
+              s.decisions <- s.decisions + 1;
+              Vec.push s.trail_lim (Vec.len s.trail);
+              enqueue s (lit v s.phase.(v)) (-1)
+            end
           end
         end
       done;
       if !restart && !status = None then backtrack s 0
     done;
     match !status with
-    | Some Unknown ->
+    | Some Sat -> Sat (* trail left assigned for [value] *)
+    | Some st ->
       backtrack s 0;
-      Unknown
-    | Some st -> st
+      st
     | None -> assert false
   end
 

@@ -2,8 +2,12 @@
 
     Literal encoding: variable [v] yields the positive literal [2 * v]
     and the negative literal [2 * v + 1]. Variables are created with
-    {!new_var} before use. The solver is single-shot but incremental in
-    the sense that clauses may be added between {!solve} calls.
+    {!new_var} before use. The solver is incremental: clauses may be
+    added between {!solve} calls, and [solve ~assumptions] checks
+    satisfiability under a set of assumed literals while retaining
+    every learned clause for subsequent calls (the MiniSat interface).
+    Scoped solving is built on top of this by guarding clause groups
+    with fresh selector variables and assuming the active selectors.
 
     [solve ~max_conflicts] gives up with [Unknown] after the budget is
     exhausted — used by the verification benchmarks to emulate the
@@ -22,11 +26,18 @@ val lit_is_pos : int -> bool
 
 val add_clause : t -> int list -> unit
 (** Adding the empty clause (or a clause that simplifies to it at level
-    0) makes the instance trivially unsat. *)
+    0) makes the instance trivially unsat. May be called after a [Sat]
+    answer; any leftover search trail is undone first. *)
 
 type result = Sat | Unsat | Unknown
 
-val solve : ?max_conflicts:int -> t -> result
+val solve : ?max_conflicts:int -> ?assumptions:int list -> t -> result
+(** Satisfiability of the clause database under the assumed literals
+    (default none). [Unsat] under non-empty assumptions does not mean
+    the database itself is unsat — dropping assumptions may restore
+    satisfiability. Learned clauses, variable activities and saved
+    phases carry over between calls. *)
+
 val value : t -> int -> bool
 (** Value of a variable in the satisfying assignment; only meaningful
     after [solve] returned [Sat]. Unassigned variables read as [false]. *)

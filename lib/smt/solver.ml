@@ -10,9 +10,12 @@ type stats = {
   mutable unknown_answers : int;
   mutable interval_refutations : int;
   mutable folded : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
-let stats =
+let fresh_stats () =
   {
     calls = 0;
     sat_answers = 0;
@@ -20,15 +23,78 @@ let stats =
     unknown_answers = 0;
     interval_refutations = 0;
     folded = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
-let reset_stats () =
-  stats.calls <- 0;
-  stats.sat_answers <- 0;
-  stats.unsat_answers <- 0;
-  stats.unknown_answers <- 0;
-  stats.interval_refutations <- 0;
-  stats.folded <- 0
+(* Process-wide aggregate, kept for compatibility: every context also
+   bumps this record, so the sum over all solving activity remains
+   observable in one place. *)
+let stats = fresh_stats ()
+
+let reset_stats_record s =
+  s.calls <- 0;
+  s.sat_answers <- 0;
+  s.unsat_answers <- 0;
+  s.unknown_answers <- 0;
+  s.interval_refutations <- 0;
+  s.folded <- 0;
+  s.cache_hits <- 0;
+  s.cache_misses <- 0;
+  s.cache_evictions <- 0
+
+let reset_stats () = reset_stats_record stats
+
+(* {1 Query cache}
+
+   Memoizes definite answers keyed on the hash-consed id of the full
+   conjunction. [Term.and_] flattens and deduplicates through a set, so
+   the same multiset of constraints always maps to the same id no
+   matter in which order a caller accumulated them. [Unknown] answers
+   are never cached: they depend on the conflict budget. *)
+
+module Cache = struct
+  type t = {
+    table : (int, outcome) Hashtbl.t;
+    order : int Queue.t;  (* insertion order, for FIFO eviction *)
+    capacity : int;
+  }
+
+  let create ?(capacity = 1 lsl 14) () =
+    { table = Hashtbl.create 256; order = Queue.create (); capacity }
+
+  let clear c =
+    Hashtbl.reset c.table;
+    Queue.clear c.order
+
+  let length c = Hashtbl.length c.table
+
+  let find c id = Hashtbl.find_opt c.table id
+
+  (* Returns the number of evicted entries (0 or 1). *)
+  let add c id outcome =
+    if Hashtbl.mem c.table id then 0
+    else begin
+      let evicted =
+        if Hashtbl.length c.table >= c.capacity then (
+          match Queue.take_opt c.order with
+          | Some victim ->
+            Hashtbl.remove c.table victim;
+            1
+          | None -> 0)
+        else 0
+      in
+      Hashtbl.add c.table id outcome;
+      Queue.add id c.order;
+      evicted
+    end
+end
+
+(* One shared cache: identical composite conditions recur across the
+   crash-freedom, instruction-bound and reachability passes over the
+   same pipeline, so sharing pays across properties. *)
+let shared_cache = Cache.create ()
 
 let validate_model conj m =
   if not (Eval.eval_bool m conj) then
@@ -36,40 +102,72 @@ let validate_model conj m =
       (Printf.sprintf "Solver: extracted model fails to satisfy %s"
          (Term.to_string conj))
 
-let check ?(max_conflicts = max_int) terms =
-  stats.calls <- stats.calls + 1;
-  let conj = Term.and_ terms in
+(* {1 Core solving}
+
+   [sts] is the list of stats records to charge (the aggregate plus,
+   for context-based solving, the context's own record). *)
+
+let tally sts f = List.iter f sts
+
+let finish sts (o : outcome) =
+  (match o with
+  | Sat _ -> tally sts (fun s -> s.sat_answers <- s.sat_answers + 1)
+  | Unsat -> tally sts (fun s -> s.unsat_answers <- s.unsat_answers + 1)
+  | Unknown -> tally sts (fun s -> s.unknown_answers <- s.unknown_answers + 1));
+  o
+
+let cache_store sts cache id outcome =
+  match (cache, outcome) with
+  | Some c, (Sat _ | Unsat) ->
+    let evicted = Cache.add c id outcome in
+    if evicted > 0 then
+      tally sts (fun s -> s.cache_evictions <- s.cache_evictions + evicted)
+  | _ -> ()
+
+(* The shared front end: constant folding, cache lookup, interval
+   refutation, then [blast_and_solve] for the real work. *)
+let check_conj sts ?cache conj ~blast_and_solve =
+  tally sts (fun s -> s.calls <- s.calls + 1);
   if Term.is_true conj then begin
-    stats.folded <- stats.folded + 1;
-    stats.sat_answers <- stats.sat_answers + 1;
-    Sat (Model.create ())
+    tally sts (fun s -> s.folded <- s.folded + 1);
+    finish sts (Sat (Model.create ()))
   end
   else if Term.is_false conj then begin
-    stats.folded <- stats.folded + 1;
-    stats.unsat_answers <- stats.unsat_answers + 1;
-    Unsat
+    tally sts (fun s -> s.folded <- s.folded + 1);
+    finish sts Unsat
   end
-  else if Interval.refute conj then begin
-    stats.interval_refutations <- stats.interval_refutations + 1;
-    stats.unsat_answers <- stats.unsat_answers + 1;
-    Unsat
-  end
-  else begin
-    let ctx = Bitblast.create () in
-    Bitblast.assert_term ctx conj;
-    match Sat.solve ~max_conflicts (Bitblast.sat ctx) with
-    | Sat.Sat ->
-      let m = Bitblast.extract_model ctx in
-      validate_model conj m;
-      stats.sat_answers <- stats.sat_answers + 1;
-      Sat m
-    | Sat.Unsat ->
-      stats.unsat_answers <- stats.unsat_answers + 1;
-      Unsat
-    | Sat.Unknown ->
-      stats.unknown_answers <- stats.unknown_answers + 1;
-      Unknown
-  end
+  else
+    match Option.bind cache (fun c -> Cache.find c conj.Term.id) with
+    | Some o ->
+      tally sts (fun s -> s.cache_hits <- s.cache_hits + 1);
+      finish sts o
+    | None ->
+      if cache <> None then
+        tally sts (fun s -> s.cache_misses <- s.cache_misses + 1);
+      if Interval.refute conj then begin
+        tally sts (fun s ->
+            s.interval_refutations <- s.interval_refutations + 1);
+        cache_store sts cache conj.Term.id Unsat;
+        finish sts Unsat
+      end
+      else begin
+        let o = blast_and_solve conj in
+        cache_store sts cache conj.Term.id o;
+        finish sts o
+      end
+
+let check ?(max_conflicts = max_int) ?cache terms =
+  let conj = Term.and_ terms in
+  check_conj [ stats ] ?cache conj ~blast_and_solve:(fun conj ->
+      let ctx = Bitblast.create () in
+      Bitblast.assert_term ctx conj;
+      match Sat.solve ~max_conflicts (Bitblast.sat ctx) with
+      | Sat.Sat ->
+        let m = Bitblast.extract_model ctx in
+        validate_model conj m;
+        Sat m
+      | Sat.Unsat -> Unsat
+      | Sat.Unknown -> Unknown)
 
 let check_term ?max_conflicts t = check ?max_conflicts [ t ]
 
@@ -82,6 +180,77 @@ let is_unsat ?max_conflicts terms =
   match check ?max_conflicts terms with
   | Unsat -> true
   | Sat _ | Unknown -> false
+
+(* {1 Incremental contexts}
+
+   A context keeps one bit-blaster (so the term DAG is encoded once no
+   matter how many checks see it) and a stack of scopes. Each scope
+   owns a fresh selector literal; asserting a term adds the guarded
+   clause [not selector \/ term]. Checking assumes the selectors of
+   all live scopes, so popped scopes stop constraining the search while
+   every learned clause — which can only mention selectors negatively —
+   remains valid and is retained. *)
+
+type scope = {
+  selector : int;
+  mutable asserted : Term.t list;  (* newest first *)
+}
+
+type ctx = {
+  bb : Bitblast.ctx;
+  mutable scopes : scope list;  (* innermost first; never empty *)
+  cstats : stats;
+  cache : Cache.t option;
+}
+
+let new_scope bb = { selector = Bitblast.fresh bb; asserted = [] }
+
+let create_ctx ?cache () =
+  let bb = Bitblast.create () in
+  { bb; scopes = [ new_scope bb ]; cstats = fresh_stats (); cache }
+
+let ctx_stats ctx = ctx.cstats
+let depth ctx = List.length ctx.scopes - 1
+
+let push ctx = ctx.scopes <- new_scope ctx.bb :: ctx.scopes
+
+let pop ctx =
+  match ctx.scopes with
+  | [] | [ _ ] -> invalid_arg "Solver.pop: no scope to pop"
+  | sc :: rest ->
+    (* Permanently retire the selector: its guarded clauses become
+       satisfied at level 0 and never burden the search again. *)
+    Sat.add_clause (Bitblast.sat ctx.bb) [ Sat.lit_not sc.selector ];
+    ctx.scopes <- rest
+
+let assert_terms ctx terms =
+  match ctx.scopes with
+  | [] -> assert false
+  | sc :: _ ->
+    List.iter
+      (fun t ->
+        if not (Term.is_true t) then begin
+          sc.asserted <- t :: sc.asserted;
+          Bitblast.assert_under ctx.bb ~selector:sc.selector t
+        end)
+      terms
+
+let assert_term ctx t = assert_terms ctx [ t ]
+
+let asserted ctx = List.concat_map (fun sc -> sc.asserted) ctx.scopes
+
+let check_ctx ?(max_conflicts = max_int) ctx =
+  let sts = [ stats; ctx.cstats ] in
+  let conj = Term.and_ (asserted ctx) in
+  check_conj sts ?cache:ctx.cache conj ~blast_and_solve:(fun conj ->
+      let assumptions = List.rev_map (fun sc -> sc.selector) ctx.scopes in
+      match Sat.solve ~max_conflicts ~assumptions (Bitblast.sat ctx.bb) with
+      | Sat.Sat ->
+        let m = Bitblast.extract_model ctx.bb in
+        validate_model conj m;
+        Sat m
+      | Sat.Unsat -> Unsat
+      | Sat.Unknown -> Unknown)
 
 let pp_outcome fmt = function
   | Sat m -> Format.fprintf fmt "sat@ %a" Model.pp m

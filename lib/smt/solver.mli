@@ -1,10 +1,23 @@
 (** Satisfiability of quantifier-free bit-vector constraints.
 
     The pipeline is: smart-constructor folding (already applied by
-    {!Term}), a cheap interval refutation, then bit-blasting onto the
-    CDCL SAT core. Every [Sat] answer is re-validated by evaluating the
-    original constraints under the extracted model, so a blasting bug
-    can never produce a bogus counterexample. *)
+    {!Term}), a memoizing query cache, a cheap interval refutation, then
+    bit-blasting onto the CDCL SAT core. Every [Sat] answer is
+    re-validated by evaluating the original constraints under the
+    extracted model, so a blasting bug can never produce a bogus
+    counterexample.
+
+    Two front ends share that pipeline:
+    - {!check} — one-shot: blasts the conjunction into a fresh SAT
+      instance and solves it;
+    - {!create_ctx} / {!push} / {!assert_terms} / {!check_ctx} /
+      {!pop} — incremental: one bit-blaster and SAT instance persist
+      across checks, each scope's constraints are guarded by a fresh
+      selector literal, and checking solves under the live selectors as
+      assumptions. Learned clauses, variable activities and the blasted
+      term DAG all carry over between checks, which is what makes
+      sibling composite paths (sharing long constraint prefixes) cheap
+      to check in sequence. *)
 
 type outcome =
   | Sat of Model.t
@@ -18,15 +31,41 @@ type stats = {
   mutable unknown_answers : int;
   mutable interval_refutations : int;
   mutable folded : int;  (** decided by constant folding alone *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 val stats : stats
-(** Global, cumulative; reset with {!reset_stats}. *)
+(** Process-wide aggregate over every front end and context; reset with
+    {!reset_stats}. Per-context counters live in {!ctx_stats}. *)
 
 val reset_stats : unit -> unit
+val fresh_stats : unit -> stats
 
-val check : ?max_conflicts:int -> Term.t list -> outcome
-(** Satisfiability of the conjunction. *)
+(** {1 Query cache} *)
+
+(** Memoizes definite ([Sat]/[Unsat]) answers keyed on the hash-consed
+    id of the full constraint conjunction; [Unknown] answers are never
+    cached because they depend on the conflict budget. Bounded, with
+    FIFO eviction. *)
+module Cache : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val clear : t -> unit
+  val length : t -> int
+end
+
+val shared_cache : Cache.t
+(** A default process-wide cache; identical composite conditions recur
+    across properties checked on the same pipeline. *)
+
+(** {1 One-shot checking} *)
+
+val check : ?max_conflicts:int -> ?cache:Cache.t -> Term.t list -> outcome
+(** Satisfiability of the conjunction. No caching unless [cache] is
+    supplied. *)
 
 val check_term : ?max_conflicts:int -> Term.t -> outcome
 
@@ -36,5 +75,38 @@ val is_sat : ?max_conflicts:int -> Term.t list -> bool
 
 val is_unsat : ?max_conflicts:int -> Term.t list -> bool
 (** [true] only on a definite [Unsat]. *)
+
+(** {1 Incremental contexts} *)
+
+type ctx
+
+val create_ctx : ?cache:Cache.t -> unit -> ctx
+(** A fresh context with one root scope. Contexts are not thread-safe;
+    create one per exploration. *)
+
+val push : ctx -> unit
+(** Open a new scope; subsequent {!assert_terms} go into it. *)
+
+val pop : ctx -> unit
+(** Discard the innermost scope and its assertions. Learned clauses
+    survive. Raises [Invalid_argument] on the root scope. *)
+
+val assert_terms : ctx -> Term.t list -> unit
+(** Add constraints to the innermost scope. Each term is bit-blasted
+    immediately (once per distinct term, ever). *)
+
+val assert_term : ctx -> Term.t -> unit
+
+val check_ctx : ?max_conflicts:int -> ctx -> outcome
+(** Satisfiability of the conjunction of all live scopes' assertions. *)
+
+val depth : ctx -> int
+(** Number of scopes pushed (0 = only the root scope). *)
+
+val asserted : ctx -> Term.t list
+(** All live assertions, innermost scope first, newest first. *)
+
+val ctx_stats : ctx -> stats
+(** This context's own counters (also folded into {!stats}). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -14,4 +14,5 @@ let () =
       ("elements", Test_elements.tests);
       ("interval", Test_interval.tests);
       ("config", Test_config.tests);
+      ("incremental", Test_incremental.tests);
     ]
