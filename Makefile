@@ -15,6 +15,9 @@ bench:
 
 ci: build
 	dune runtest
+	dune exec bin/vdpverify.exe -- crash examples/router.click
+	dune exec bin/vdpverify.exe -- crash -j 4 examples/router.click
+	dune exec bench/main.exe -- e1
 
 clean:
 	dune clean

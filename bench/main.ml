@@ -28,6 +28,78 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* {1 Machine-readable results}
+
+   Each experiment writes BENCH_<exp>.json next to the text report so
+   scripts can track numbers across runs without scraping stdout. The
+   driver supplies the experiment name and wall time; experiments add
+   their own fields with [record]. *)
+
+module Json = struct
+  type t =
+    | Str of string
+    | Int of int
+    | Float of float
+    | Bool of bool
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf (Str k);
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let write path j =
+    let buf = Buffer.create 1_024 in
+    emit buf j;
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    Buffer.output_buffer oc buf;
+    close_out oc
+end
+
+let json_fields : (string * Json.t) list ref = ref []
+let record k v = json_fields := !json_fields @ [ (k, v) ]
+
+let verdict_str v =
+  Format.asprintf "%a" Vdp_verif.Report.pp_verdict v
+
 (* The element chain of the Click IP-router configuration (paper §3,
    "Preliminary Results"). *)
 let router_elements () =
@@ -118,6 +190,7 @@ let e1 () =
   Summaries.clear ();
   Printf.printf "%-46s %8s %8s %8s %s\n" "pipeline" "suspects" "checks"
     "time(s)" "verdict";
+  let rows = ref [] in
   for k = 1 to 7 do
     let pl = router_prefix k in
     let names =
@@ -129,8 +202,20 @@ let e1 () =
     in
     let r, dt = time (fun () -> V.check_crash_freedom pl) in
     Format.printf "%-46s %8d %8d %8.2f %a@." names r.V.stats.V.suspects
-      r.V.stats.V.suspect_checks dt Vdp_verif.Report.pp_verdict r.V.verdict
+      r.V.stats.V.suspect_checks dt Vdp_verif.Report.pp_verdict r.V.verdict;
+    rows :=
+      Json.Obj
+        [
+          ("k", Json.Int k);
+          ("suspects", Json.Int r.V.stats.V.suspects);
+          ("checks", Json.Int r.V.stats.V.suspect_checks);
+          ("composite_paths", Json.Int r.V.stats.V.composite_paths);
+          ("seconds", Json.Float dt);
+          ("verdict", Json.Str (verdict_str r.V.verdict));
+        ]
+      :: !rows
   done;
+  record "pipelines" (Json.List (List.rev !rows));
   (* A rewired variant (order changed downstream of CheckIPHeader) to
      back the "any pipeline of these elements" claim. *)
   let reordered =
@@ -206,7 +291,14 @@ let e2 () =
     Printf.printf
       "fuzzing 20k frames: concrete max %d <= proved bound %d: %b\n"
       !max_seen b (!max_seen <= b)
-  | None -> ())
+  | None -> ());
+  record "bound"
+    (match r.V.bound with Some b -> Json.Int b | None -> Json.Str "none");
+  record "exact" (Json.Bool r.V.exact);
+  record "witness_measured"
+    (match r.V.measured with Some m -> Json.Int m | None -> Json.Str "none");
+  record "fuzz_max" (Json.Int !max_seen);
+  record "seconds_bound" (Json.Float dt)
 
 (* {1 E3 — compositional vs monolithic verification time} *)
 
@@ -218,6 +310,7 @@ let e3 () =
     "monolithic paths";
   let mono_budget = 30_000 in
   let time_limit = 30. in
+  let rows = ref [] in
   for k = 1 to 7 do
     let pl = router_prefix k in
     Summaries.clear ();
@@ -241,8 +334,19 @@ let e3 () =
         ( Printf.sprintf "DNF@%.0fs" time,
           Printf.sprintf ">= %d (budget %d)" paths_explored mono_budget )
     in
-    Printf.printf "%-4d %14s %14s %20s\n%!" k comp mono mono_paths
+    Printf.printf "%-4d %14s %14s %20s\n%!" k comp mono mono_paths;
+    rows :=
+      Json.Obj
+        [
+          ("k", Json.Int k);
+          ("compositional_seconds", Json.Float dtc);
+          ("compositional_verdict", Json.Str (verdict_str rc.V.verdict));
+          ("monolithic", Json.Str mono);
+          ("monolithic_paths", Json.Str mono_paths);
+        ]
+      :: !rows
   done;
+  record "pipelines" (Json.List (List.rev !rows));
   Printf.printf
     "\nshape check: compositional stays flat in k (summaries cached, only\n\
      suspects re-checked); the monolithic baseline multiplies paths per\n\
@@ -357,11 +461,9 @@ let e5 () =
 
 (* {1 E6 — incremental Step-2 solving vs flat re-solving} *)
 
-let e6 () =
-  section
-    "E6: Step-2 solving, incremental context + query cache vs flat re-solve";
-  let nat_config =
-    {|
+(* The NetFlow+NAT configuration shared by E5/E6/E7. *)
+let nat_config =
+  {|
     cl :: Classifier(12/0800, -);
     strip :: Strip(14);
     chk :: CheckIPHeader;
@@ -372,24 +474,26 @@ let e6 () =
     cl[0] -> strip -> chk -> flow -> nat -> cks -> out;
     cl[1] -> Discard; chk[1] -> Discard; nat[1] -> cks;
     |}
-  in
+
+let violated_nodes = function
+  | V.Violated vs -> List.sort_uniq compare (List.map (fun v -> v.V.node) vs)
+  | V.Proved | V.Unknown _ -> []
+
+let same_verdict a b =
+  match (a, b) with
+  | V.Proved, V.Proved -> true
+  | V.Violated _, V.Violated _ -> violated_nodes a = violated_nodes b
+  | V.Unknown _, V.Unknown _ -> true
+  | _ -> false
+
+let e6 () =
+  section
+    "E6: Step-2 solving, incremental context + query cache vs flat re-solve";
   let pipelines =
     [
       ("ip-router (7 elements)", full_router ());
       ("NetFlow+NAT", Click.Config.parse nat_config);
     ]
-  in
-  let violated_nodes = function
-    | V.Violated vs ->
-      List.sort_uniq compare (List.map (fun v -> v.V.node) vs)
-    | V.Proved | V.Unknown _ -> []
-  in
-  let same_verdict a b =
-    match (a, b) with
-    | V.Proved, V.Proved -> true
-    | V.Violated _, V.Violated _ -> violated_nodes a = violated_nodes b
-    | V.Unknown _, V.Unknown _ -> true
-    | _ -> false
   in
   Printf.printf "%-24s %10s %10s %8s %s\n" "pipeline" "flat(s)" "incr(s)"
     "speedup" "agreement";
@@ -417,6 +521,14 @@ let e6 () =
       Printf.printf "%-24s %10.3f %10.3f %7.1fx %s\n%!" name flat_t incr_t
         (flat_t /. incr_t)
         (if agree then "verdicts+bounds identical" else "MISMATCH");
+      record name
+        (Json.Obj
+           [
+             ("flat_seconds", Json.Float flat_t);
+             ("incremental_seconds", Json.Float incr_t);
+             ("speedup", Json.Float (flat_t /. incr_t));
+             ("agree", Json.Bool agree);
+           ]);
       if not agree then begin
         Format.printf "  flat:  %a bound=%s exact=%b@."
           Vdp_verif.Report.pp_verdict fc.V.verdict
@@ -432,6 +544,91 @@ let e6 () =
     "\nthe incremental context keeps the blasted term DAG and learned\n\
      clauses across sibling composite paths; the cache removes queries\n\
      repeated across the crash-freedom and bound properties.\n"
+
+(* {1 E7 — domain-parallel verification scaling} *)
+
+let e7 () =
+  section
+    "E7: parallel scaling, 1/2/4/8 domains (Step-1 symbex fan-out +\n\
+     Step-2 suspect-path partitioning)";
+  let pipelines =
+    [
+      ("ip-router (7 elements)", full_router ());
+      ("NetFlow+NAT", Click.Config.parse nat_config);
+    ]
+  in
+  (* End-to-end verification (crash freedom + instruction bound) from a
+     cold start: summaries and the shared query cache are cleared before
+     every run so Step 1 is re-done and timed too. *)
+  let run ~incremental ~jobs pl =
+    Summaries.clear ();
+    Solver.Cache.clear Solver.shared_cache;
+    let config =
+      { V.default_config with V.incremental; V.cache = incremental; V.jobs }
+    in
+    time (fun () ->
+        let crash = V.check_crash_freedom ~config pl in
+        let bound = V.instruction_bound ~config pl in
+        (crash, bound))
+  in
+  Printf.printf "%-24s %-18s %6s %10s %8s %s\n" "pipeline" "mode" "jobs"
+    "time(s)" "speedup" "agreement";
+  let rows = ref [] in
+  List.iter
+    (fun (name, pl) ->
+      let (rc0, rb0), base_t = run ~incremental:true ~jobs:1 pl in
+      let report mode jobs (rc, rb) dt =
+        let agree =
+          same_verdict rc0.V.verdict rc.V.verdict
+          && rb0.V.bound = rb.V.bound
+          && rb0.V.exact = rb.V.exact
+        in
+        Printf.printf "%-24s %-18s %6d %10.3f %7.2fx %s\n%!" name mode jobs
+          dt (base_t /. dt)
+          (if agree then "ok" else "MISMATCH");
+        rows :=
+          Json.Obj
+            [
+              ("pipeline", Json.Str name);
+              ("mode", Json.Str mode);
+              ("jobs", Json.Int jobs);
+              ("seconds", Json.Float dt);
+              ("speedup_vs_incremental_j1", Json.Float (base_t /. dt));
+              ("crash_verdict", Json.Str (verdict_str rc.V.verdict));
+              ( "bound",
+                match rb.V.bound with
+                | Some b -> Json.Int b
+                | None -> Json.Str "none" );
+              ("composite_paths", Json.Int rc.V.stats.V.composite_paths);
+              ("agree", Json.Bool agree);
+            ]
+          :: !rows;
+        dt
+      in
+      let rf, dtf = run ~incremental:false ~jobs:1 pl in
+      ignore (report "flat" 1 rf dtf);
+      ignore (report "incremental" 1 (rc0, rb0) base_t);
+      let speedup4 = ref None in
+      List.iter
+        (fun jobs ->
+          let r, dt = run ~incremental:true ~jobs pl in
+          let dt = report "incremental+par" jobs r dt in
+          if jobs = 4 then speedup4 := Some (base_t /. dt))
+        [ 2; 4; 8 ];
+      match !speedup4 with
+      | Some s ->
+        record
+          (Printf.sprintf "speedup_at_4_domains (%s)" name)
+          (Json.Float s)
+      | None -> ())
+    pipelines;
+  record "runs" (Json.List (List.rev !rows));
+  record "available_cores" (Json.Int (Domain.recommended_domain_count ()));
+  Printf.printf
+    "\nnote: speedup is bounded by the machine's core count\n\
+     (Domain.recommended_domain_count = %d here); on a single-core host\n\
+     the parallel runs measure coordination overhead, not speedup.\n"
+    (Domain.recommended_domain_count ())
 
 (* {1 Micro-benchmarks (Bechamel)} *)
 
@@ -516,7 +713,7 @@ let micro () =
 (* {1 Driver} *)
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
-            "e4", e4; "e5", e5; "e6", e6; "micro", micro ]
+            "e4", e4; "e5", e5; "e6", e6; "e7", e7; "micro", micro ]
 
 let () =
   let requested =
@@ -526,8 +723,18 @@ let () =
   in
   List.iter
     (fun name ->
-      match List.assoc_opt (String.lowercase_ascii name) all with
-      | Some f -> f ()
+      let name = String.lowercase_ascii name in
+      match List.assoc_opt name all with
+      | Some f ->
+        json_fields := [];
+        let (), dt = time f in
+        let out = Printf.sprintf "BENCH_%s.json" name in
+        Json.write out
+          (Json.Obj
+             (("experiment", Json.Str name)
+             :: ("wall_seconds", Json.Float dt)
+             :: !json_fields));
+        Printf.printf "[wrote %s]\n%!" out
       | None ->
         Printf.eprintf "unknown experiment %s (have: %s)\n" name
           (String.concat ", " (List.map fst all));

@@ -41,6 +41,13 @@ let no_cache_arg =
   let doc = "Disable the Step-2 query cache." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains for Step-1 symbolic execution and Step-2 suspect-path \
+     checking (default 1 = fully sequential)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let load path =
   try Ok (Vdp_click.Config.parse_file path) with
   | Vdp_click.Config.Parse_error m ->
@@ -51,16 +58,17 @@ let load path =
     Error (Printf.sprintf "bad configuration for %s: %s" cls m)
   | Invalid_argument m -> Error m
 
-let verifier_config max_len ~no_incremental ~no_cache =
+let verifier_config max_len ~no_incremental ~no_cache ~jobs =
   {
     V.default_config with
     V.engine = { E.default_config with E.max_len };
     V.incremental = not no_incremental;
     V.cache = not no_cache;
+    V.jobs = max 1 jobs;
   }
 
 let crash_cmd =
-  let run config_path max_len monolithic budget no_incremental no_cache =
+  let run config_path max_len monolithic budget no_incremental no_cache jobs =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -90,7 +98,9 @@ let crash_cmd =
           2
       end
       else begin
-        let config = verifier_config max_len ~no_incremental ~no_cache in
+        let config =
+          verifier_config max_len ~no_incremental ~no_cache ~jobs
+        in
         let r = V.check_crash_freedom ~config pl in
         Format.printf "%a@." Vdp_verif.Report.pp_report r;
         match r.V.verdict with V.Proved -> 0 | _ -> 2
@@ -101,16 +111,16 @@ let crash_cmd =
     (Cmd.info "crash" ~doc)
     Term.(
       const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg
-      $ no_incremental_arg $ no_cache_arg)
+      $ no_incremental_arg $ no_cache_arg $ jobs_arg)
 
 let bound_cmd =
-  let run config_path max_len no_incremental no_cache =
+  let run config_path max_len no_incremental no_cache jobs =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
       1
     | Ok pl ->
-      let config = verifier_config max_len ~no_incremental ~no_cache in
+      let config = verifier_config max_len ~no_incremental ~no_cache ~jobs in
       let r = V.instruction_bound ~config pl in
       Format.printf "%a@." Vdp_verif.Report.pp_bound_report r;
       (match r.V.b_verdict with V.Proved -> 0 | _ -> 2)
@@ -119,7 +129,8 @@ let bound_cmd =
   Cmd.v
     (Cmd.info "bound" ~doc)
     Term.(
-      const run $ config_arg $ max_len_arg $ no_incremental_arg $ no_cache_arg)
+      const run $ config_arg $ max_len_arg $ no_incremental_arg
+      $ no_cache_arg $ jobs_arg)
 
 let show_cmd =
   let run config_path =

@@ -1,0 +1,161 @@
+(** A fixed pool of worker domains with a chunk-free self-balancing
+    work queue.
+
+    [create n] spawns [n - 1] domains; the caller participates as the
+    n-th runner inside {!map}, so a pool of size [n] keeps exactly [n]
+    domains busy. A pool of size 1 spawns nothing and {!map} degrades
+    to [Array.map] — the sequential fast path costs one branch.
+
+    Work distribution is an atomic next-index counter rather than
+    pre-cut chunks: runners claim the next unclaimed element until the
+    array is exhausted, so wildly uneven item costs (one subtree of the
+    suspect-path DFS can dwarf its siblings) still balance.
+
+    Guarantees:
+    - {e deterministic result ordering} — [map pool f xs] returns
+      results positionally, exactly like [Array.map f xs];
+    - {e exception propagation} — if any [f xs.(i)] raises, one of the
+      raised exceptions (the smallest failing index among those that
+      ran) is re-raised with its backtrace in the caller once every
+      runner has stopped; remaining unclaimed items are skipped;
+    - spawning the pool enters {!Vdp_smt.Par} parallel mode (shared
+      SMT state becomes lock-guarded) and {!shutdown} leaves it.
+
+    A pool is meant to be driven from one orchestrating domain; [map]
+    itself must not be called from inside a task running on the same
+    pool (the nested call would deadlock waiting for runners the outer
+    call already occupies). *)
+
+type task = unit -> unit
+
+type t = {
+  mutable workers : unit Domain.t array;
+  size : int;  (* total concurrent runners, including the caller *)
+  queue : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let size pool = pool.size
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.nonempty pool.lock
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+    (* closed and drained *)
+    Mutex.unlock pool.lock
+  | Some task ->
+    Mutex.unlock pool.lock;
+    task ();
+    worker_loop pool
+
+let create n =
+  let n = max 1 n in
+  let pool =
+    {
+      workers = [||];
+      size = n;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+  in
+  if n > 1 then begin
+    (* Flip the SMT substrate to locked mode {e before} any worker can
+       intern a term or touch a shared cache. *)
+    Vdp_smt.Par.enter ();
+    pool.workers <-
+      Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool))
+  end;
+  pool
+
+let shutdown pool =
+  if pool.size > 1 && not pool.closed then begin
+    Mutex.lock pool.lock;
+    pool.closed <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||];
+    Vdp_smt.Par.leave ()
+  end
+
+let with_pool n f =
+  let pool = create n in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let submit pool task =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add task pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+let map pool f xs =
+  let n = Array.length xs in
+  if pool.size <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let error_lock = Mutex.create () in
+    let errors = ref [] in  (* (index, exn, backtrace) *)
+    let runner () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failed then continue := false
+        else
+          match f xs.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Atomic.set failed true;
+            Mutex.lock error_lock;
+            errors := (i, e, bt) :: !errors;
+            Mutex.unlock error_lock
+      done
+    in
+    (* Fan out one runner per pool slot; the caller runs the last one
+       inline, then blocks until the submitted runners drain. *)
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let remaining = ref (pool.size - 1) in
+    for _ = 1 to pool.size - 1 do
+      submit pool (fun () ->
+          runner ();
+          Mutex.lock done_lock;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast done_cond;
+          Mutex.unlock done_lock)
+    done;
+    runner ();
+    Mutex.lock done_lock;
+    while !remaining > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
+    match !errors with
+    | [] ->
+      Array.map
+        (function Some r -> r | None -> assert false (* all claimed *))
+        results
+    | errs ->
+      let _, e, bt =
+        List.fold_left
+          (fun ((i0, _, _) as acc) ((i, _, _) as cand) ->
+            if i < i0 then cand else acc)
+          (List.hd errs) (List.tl errs)
+      in
+      Printexc.raise_with_backtrace e bt
+  end
+
+let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))

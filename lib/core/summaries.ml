@@ -1,7 +1,16 @@
 (** Step 1 driver: per-element symbolic execution, cached by element
     class + configuration. Akin to compositional test generation, each
     distinct element is symbexed exactly once no matter how many times
-    or where it appears in pipelines. *)
+    or where it appears in pipelines.
+
+    The cache is safe to share across domains: lookup and insert happen
+    atomically under the cache's lock, and a key that is being symbexed
+    by one worker is marked {e in flight} so that concurrent requests
+    for the same key block on the condition variable instead of running
+    the (expensive) symbolic execution a second time. The same
+    discipline also fixes the sequential-era latent bug where a
+    re-entrant or interleaved [summarize] could double-run symbex
+    between the unguarded lookup and insert. *)
 
 module Engine = Vdp_symbex.Engine
 module Element = Vdp_click.Element
@@ -11,37 +20,118 @@ type entry = {
   time : float;  (** seconds spent symbexing this element *)
 }
 
-type cache = (string, entry) Hashtbl.t
+type cache = {
+  tbl : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  ready : Condition.t;  (* signalled when an in-flight key lands *)
+  in_flight : (string, unit) Hashtbl.t;
+}
 
-let create_cache () : cache = Hashtbl.create 32
+let create_cache () : cache =
+  {
+    tbl = Hashtbl.create 32;
+    lock = Mutex.create ();
+    ready = Condition.create ();
+    in_flight = Hashtbl.create 4;
+  }
 
-(* The default, process-wide cache. Callers that need isolation (e.g. a
-   future parallel Step 1 with one worker per domain) pass their own
-   [~cache] instead of mutating this one. *)
+(* The default, process-wide cache. Callers that need isolation pass
+   their own [~cache] instead of mutating this one; each cache carries
+   its own lock, so isolation keeps working under parallelism. *)
 let cache : cache = create_cache ()
 
-let clear () = Hashtbl.reset cache
+let clear ?(cache = cache) () =
+  Mutex.lock cache.lock;
+  Hashtbl.reset cache.tbl;
+  Mutex.unlock cache.lock
+
+let size ?(cache = cache) () =
+  Mutex.lock cache.lock;
+  let n = Hashtbl.length cache.tbl in
+  Mutex.unlock cache.lock;
+  n
 
 let summarize ?(cache = cache) ?(config = Engine.default_config)
     (e : Element.t) : entry =
   let key = Element.summary_key e in
-  match Hashtbl.find_opt cache key with
-  | Some entry -> entry
-  | None ->
+  let compute () =
     let t0 = Unix.gettimeofday () in
     let result = Engine.explore ~config e.Element.program in
-    let entry = { result; time = Unix.gettimeofday () -. t0 } in
-    Hashtbl.add cache key entry;
-    entry
+    { result; time = Unix.gettimeofday () -. t0 }
+  in
+  Mutex.lock cache.lock;
+  let rec obtain () =
+    match Hashtbl.find_opt cache.tbl key with
+    | Some entry ->
+      Mutex.unlock cache.lock;
+      entry
+    | None ->
+      if Hashtbl.mem cache.in_flight key then begin
+        (* Another worker is symbexing this element; wait for it. *)
+        Condition.wait cache.ready cache.lock;
+        obtain ()
+      end
+      else begin
+        Hashtbl.add cache.in_flight key ();
+        Mutex.unlock cache.lock;
+        let entry =
+          try compute ()
+          with exn ->
+            Mutex.lock cache.lock;
+            Hashtbl.remove cache.in_flight key;
+            Condition.broadcast cache.ready;
+            Mutex.unlock cache.lock;
+            raise exn
+        in
+        Mutex.lock cache.lock;
+        Hashtbl.remove cache.in_flight key;
+        Hashtbl.replace cache.tbl key entry;
+        Condition.broadcast cache.ready;
+        Mutex.unlock cache.lock;
+        entry
+      end
+  in
+  obtain ()
 
 let is_suspect_crash (seg : Engine.segment) =
   match seg.Engine.outcome with
   | Engine.O_crash _ -> true
   | Engine.O_emit _ | Engine.O_drop -> false
 
+(** Summarize every element of [els], optionally fanning the distinct
+    uncached ones out over a worker pool. Per-element symbex jobs share
+    nothing but the (domain-safe) term table, so they parallelise
+    embarrassingly; results land in [cache] and the returned array is
+    assembled from it, so ordering and sharing are exactly as in the
+    sequential case. *)
+let summarize_all ?pool ?cache:(c = cache) ?config (els : Element.t array) :
+    entry array =
+  (match pool with
+  | Some pool when Pool.size pool > 1 && Array.length els > 1 ->
+    (* Deduplicate first so workers do not serialise on the in-flight
+       wait for repeated elements. *)
+    let seen = Hashtbl.create 8 in
+    let distinct =
+      Array.of_list
+        (List.filter
+           (fun e ->
+             let key = Element.summary_key e in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.add seen key ();
+               true
+             end)
+           (Array.to_list els))
+    in
+    ignore (Pool.map pool (fun e -> ignore (summarize ~cache:c ?config e))
+              distinct)
+  | _ -> ());
+  Array.map (fun e -> summarize ~cache:c ?config e) els
+
 (** Summaries for every node of a pipeline (sharing identical ones). *)
-let of_pipeline ?cache ?config (pl : Vdp_click.Pipeline.t) : entry array =
-  Array.map
-    (fun (n : Vdp_click.Pipeline.node) ->
-      summarize ?cache ?config n.Vdp_click.Pipeline.element)
-    (Vdp_click.Pipeline.nodes pl)
+let of_pipeline ?pool ?cache ?config (pl : Vdp_click.Pipeline.t) : entry array
+    =
+  summarize_all ?pool ?cache ?config
+    (Array.map
+       (fun (n : Vdp_click.Pipeline.node) -> n.Vdp_click.Pipeline.element)
+       (Vdp_click.Pipeline.nodes pl))

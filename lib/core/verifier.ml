@@ -21,7 +21,19 @@
     properties on the same pipeline). [config.incremental = false]
     restores flat per-check solving; [config.cache = false] disables
     memoization — both escape hatches exist so the two modes can be
-    differentially tested and benchmarked against each other. *)
+    differentially tested and benchmarked against each other.
+
+    With [config.jobs > 1] both steps run on a {!Pool} of that many
+    domains. Step 1 fans the distinct element symbex jobs out (they
+    share nothing but the domain-safe term table). Step 2 expands the
+    composite tree breadth-first — pure {!Compose} work, no solver —
+    until there are enough independent subtrees, then distributes them:
+    each subtree worker carries its own incremental context seeded with
+    the subtree root's accumulated constraints, while terminal checks
+    discovered during expansion are solved flat against the shared
+    query cache. Work items stay in DFS order and results are merged in
+    that order, so verdicts, violation lists and bound witnesses are
+    ordered exactly as the sequential DFS produces them. *)
 
 module B = Vdp_bitvec.Bitvec
 module T = Vdp_smt.Term
@@ -44,6 +56,12 @@ type config = {
   incremental : bool;
       (** carry one push/pop solver context down the Step-2 DFS *)
   cache : bool;  (** memoize Step-2 queries in [Solver.shared_cache] *)
+  jobs : int;
+      (** domains used for Step-1 symbex and Step-2 suspect checking;
+          1 (the default) keeps everything on the calling domain.
+          Note: [max_composite_paths] is then enforced per subtree, so
+          a parallel run may explore up to [jobs] times more composite
+          states before giving up. *)
 }
 
 let default_config =
@@ -55,6 +73,7 @@ let default_config =
     max_composite_paths = 2_000_000;
     incremental = true;
     cache = true;
+    jobs = 1;
   }
 
 type violation = {
@@ -109,7 +128,7 @@ type report = {
 
 (* Wall clock, not CPU time: the bench harness compares against
    [Unix.gettimeofday]-based timings, and CPU time under-reports once
-   solving is incremental (or, later, parallel). *)
+   solving is incremental or parallel. *)
 let now () = Unix.gettimeofday ()
 
 (* The Step-2 solving strategy. In incremental mode the context is
@@ -125,6 +144,9 @@ let make_step2 cfg =
   if cfg.incremental then Incremental (Solver.create_ctx ?cache ())
   else Flat cache
 
+let make_flat cfg =
+  Flat (if cfg.cache then Some Solver.shared_cache else None)
+
 (* Enter the composite state [st]: in incremental mode, open a scope
    holding exactly the constraints [apply] just added. *)
 let enter step2 (st : Compose.t) =
@@ -137,6 +159,14 @@ let enter step2 (st : Compose.t) =
 let leave = function
   | Flat _ -> ()
   | Incremental c -> Solver.pop c
+
+(* Load a subtree root into a fresh context: assert the whole
+   accumulated prefix at the root scope (a parallel worker starts
+   mid-tree, so there is no chain of [enter]s to rebuild it). *)
+let seed step2 (st : Compose.t) =
+  match step2 with
+  | Flat _ -> ()
+  | Incremental c -> Solver.assert_terms c (List.rev st.Compose.cond)
 
 (* Check feasibility of [st.cond @ extra]. Incremental-mode invariant:
    the context currently holds [st.cond]. *)
@@ -172,13 +202,13 @@ let base_assumptions cfg =
     (T.bv_int ~width:16 cfg.engine.Engine.max_len)
   :: cfg.assume
 
-let step1 cfg (pl : Click.Pipeline.t) stats =
+let step1 ?pool cfg (pl : Click.Pipeline.t) stats =
   let t0 = now () in
-  let before = Hashtbl.length Summaries.cache in
-  let summaries = Summaries.of_pipeline ~config:cfg.engine pl in
+  let before = Summaries.size () in
+  let summaries = Summaries.of_pipeline ?pool ~config:cfg.engine pl in
   stats.step1_time <- now () -. t0;
   stats.elements <- Array.length summaries;
-  stats.unique_summaries <- Hashtbl.length Summaries.cache - before;
+  stats.unique_summaries <- Summaries.size () - before;
   stats.segments_total <-
     Array.fold_left
       (fun acc (e : Summaries.entry) ->
@@ -203,12 +233,161 @@ let segment_reads_kv (seg : Engine.segment) =
     (function S.Kv_read _ -> true | S.Kv_write _ -> false)
     seg.Engine.kv_log
 
+exception Path_budget
+
+(* {1 Parallel partitioning}
+
+   A work item is either a terminal feasibility check discovered while
+   expanding the composite tree, or a whole subtree still to explore.
+   [build_frontier] expands subtrees breadth-first (in place, so list
+   order remains global DFS order) until at least [target] of them
+   exist — all pure [Compose] work. Every expanded state corresponds
+   1:1 to a sequential [visit] call, so the returned visit count keeps
+   [composite_paths] comparable with the sequential run. *)
+
+type 'chk work =
+  | W_check of 'chk
+  | W_subtree of int * Compose.t
+
+let count_subtrees items =
+  List.fold_left
+    (fun n -> function W_subtree _ -> n + 1 | W_check _ -> n)
+    0 items
+
+let build_frontier ~expand ~target ~max_visits roots =
+  let visits = ref 0 in
+  let rec round items nsub =
+    if nsub = 0 || nsub >= target then (items, !visits)
+    else
+      let items' =
+        List.concat_map
+          (function
+            | W_subtree (node, st) ->
+              incr visits;
+              if !visits > max_visits then raise Path_budget;
+              expand node st
+            | W_check _ as w -> [ w ])
+          items
+      in
+      round items' (count_subtrees items')
+  in
+  round roots (count_subtrees roots)
+
+(* How finely to pre-split: enough subtrees that the atomic-counter
+   queue can balance uneven subtree costs across [jobs] runners. *)
+let frontier_target jobs = max 8 (4 * jobs)
+
+let with_jobs cfg f =
+  if cfg.jobs <= 1 then f None
+  else Pool.with_pool cfg.jobs (fun pool -> f (Some pool))
+
+(* Step-2 counters produced by one worker, merged positionally. *)
+let merge_counters into (from : stats) =
+  into.composite_paths <- into.composite_paths + from.composite_paths;
+  into.suspect_checks <- into.suspect_checks + from.suspect_checks;
+  into.refuted <- into.refuted + from.refuted;
+  into.unknown_checks <- into.unknown_checks + from.unknown_checks
+
 (* {1 Crash freedom} *)
+
+(* The DFS body shared by the sequential pass and each parallel
+   subtree worker. [check_one] expects the context to hold the state
+   {e before} the crash segment's constraints; it enters/leaves the
+   crash state itself. *)
+let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
+    has_suspect ~(stats : stats) ~violations ~unknowns step2 =
+  let check_one node (seg : Engine.segment) (st' : Compose.t) =
+    stats.suspect_checks <- stats.suspect_checks + 1;
+    enter step2 st';
+    (match check_small step2 ~max_conflicts:cfg.solver_budget st' with
+    | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+    | Solver.Unknown ->
+      stats.unknown_checks <- stats.unknown_checks + 1;
+      incr unknowns
+    | Solver.Sat model ->
+      let witness =
+        Compose.witness_packet model ~max_len:cfg.engine.Engine.max_len
+      in
+      let stateful =
+        List.exists
+          (fun (_, ev) ->
+            match ev with S.Kv_read _ -> true | _ -> false)
+          st'.Compose.kv_trace
+        && segment_reads_kv seg
+      in
+      let confirmed =
+        cfg.validate_witnesses && validate_crash pl witness node
+      in
+      violations :=
+        {
+          node;
+          element = nodes.(node).Click.Pipeline.element.Click.Element.name;
+          outcome = seg.Engine.outcome;
+          cond = st'.Compose.cond;
+          witness = Some witness;
+          confirmed;
+          stateful;
+        }
+        :: !violations);
+    leave step2
+  in
+  let rec visit node (st : Compose.t) =
+    stats.composite_paths <- stats.composite_paths + 1;
+    if stats.composite_paths > cfg.max_composite_paths then
+      raise Path_budget;
+    let tag = Printf.sprintf "n%d" node in
+    List.iter
+      (fun (seg : Engine.segment) ->
+        match seg.Engine.outcome with
+        | Engine.O_crash _ ->
+          check_one node seg (Compose.apply st ~tag seg)
+        | Engine.O_drop -> ()
+        | Engine.O_emit p -> (
+          match nodes.(node).Click.Pipeline.outputs.(p) with
+          | None -> ()
+          | Some (dst, _) ->
+            if has_suspect.(dst) then begin
+              let st' = Compose.apply st ~tag seg in
+              if Compose.plausible st' then begin
+                enter step2 st';
+                visit dst st';
+                leave step2
+              end
+            end))
+      summaries.(node).Summaries.result.Engine.segments
+  in
+  (check_one, visit)
+
+type crash_check = {
+  cc_node : int;
+  cc_seg : Engine.segment;
+  cc_st : Compose.t;  (* state after applying the crash segment *)
+}
+
+(* One visit step of the crash DFS, as frontier expansion. *)
+let crash_expand nodes (summaries : Summaries.entry array) has_suspect node st
+    =
+  let tag = Printf.sprintf "n%d" node in
+  List.concat_map
+    (fun (seg : Engine.segment) ->
+      match seg.Engine.outcome with
+      | Engine.O_crash _ ->
+        [ W_check { cc_node = node; cc_seg = seg;
+                    cc_st = Compose.apply st ~tag seg } ]
+      | Engine.O_drop -> []
+      | Engine.O_emit p -> (
+        match nodes.(node).Click.Pipeline.outputs.(p) with
+        | Some (dst, _) when has_suspect.(dst) ->
+          let st' = Compose.apply st ~tag seg in
+          if Compose.plausible st' then [ W_subtree (dst, st') ] else []
+        | _ -> []))
+    summaries.(node).Summaries.result.Engine.segments
 
 let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
     report =
+  with_jobs config @@ fun pool ->
   let stats = fresh_stats () in
-  let summaries = step1 config pl stats in
+  let summaries = step1 ?pool config pl stats in
   let nodes = Click.Pipeline.nodes pl in
   (* Which nodes can still lead to a suspect segment? *)
   let n = Array.length nodes in
@@ -238,90 +417,77 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
                e.Summaries.result.Engine.segments))
     summaries;
   let t0 = now () in
-  let step2 = make_step2 config in
-  let violations = ref [] in
-  let unknowns = ref 0 in
-  let exception Path_budget in
-  let rec visit node (st : Compose.t) =
-    stats.composite_paths <- stats.composite_paths + 1;
-    if stats.composite_paths > config.max_composite_paths then
-      raise Path_budget;
-    let tag = Printf.sprintf "n%d" node in
-    List.iter
-      (fun (seg : Engine.segment) ->
-        match seg.Engine.outcome with
-        | Engine.O_crash _ ->
-          let st' = Compose.apply st ~tag seg in
-          stats.suspect_checks <- stats.suspect_checks + 1;
-          enter step2 st';
-          (match
-             check_small step2 ~max_conflicts:config.solver_budget st'
-           with
-          | Solver.Unsat -> stats.refuted <- stats.refuted + 1
-          | Solver.Unknown ->
-            stats.unknown_checks <- stats.unknown_checks + 1;
-            incr unknowns
-          | Solver.Sat model ->
-            let witness =
-              Compose.witness_packet model
-                ~max_len:config.engine.Engine.max_len
-            in
-            let stateful =
-              List.exists
-                (fun (_, ev) ->
-                  match ev with S.Kv_read _ -> true | _ -> false)
-                st'.Compose.kv_trace
-              && segment_reads_kv seg
-            in
-            let confirmed =
-              config.validate_witnesses
-              && validate_crash pl witness node
-            in
-            violations :=
-              {
-                node;
-                element =
-                  nodes.(node).Click.Pipeline.element.Click.Element.name;
-                outcome = seg.Engine.outcome;
-                cond = st'.Compose.cond;
-                witness = Some witness;
-                confirmed;
-                stateful;
-              }
-              :: !violations);
-          leave step2
-        | Engine.O_drop -> ()
-        | Engine.O_emit p -> (
-          match nodes.(node).Click.Pipeline.outputs.(p) with
-          | None -> ()
-          | Some (dst, _) ->
-            if has_suspect.(dst) then begin
-              let st' = Compose.apply st ~tag seg in
-              if Compose.plausible st' then begin
-                enter step2 st';
-                visit dst st';
-                leave step2
-              end
-            end))
-      summaries.(node).Summaries.result.Engine.segments
-  in
   let entry = Click.Pipeline.entry pl in
-  let budget_hit =
-    try
-      if has_suspect.(entry) then begin
-        let st0 = Compose.initial ~assume:(base_assumptions config) () in
-        enter step2 st0;
-        visit entry st0;
-        leave step2
-      end;
-      false
-    with Path_budget -> true
+  let violations, unknowns, budget_hit =
+    match pool with
+    | Some pool when Pool.size pool > 1 && has_suspect.(entry) -> (
+      let st0 = Compose.initial ~assume:(base_assumptions config) () in
+      match
+        build_frontier
+          ~expand:(crash_expand nodes summaries has_suspect)
+          ~target:(frontier_target config.jobs)
+          ~max_visits:config.max_composite_paths
+          [ W_subtree (entry, st0) ]
+      with
+      | exception Path_budget -> ([], 0, true)
+      | items, visits ->
+        stats.composite_paths <- stats.composite_paths + visits;
+        let process item =
+          let local = fresh_stats () in
+          let violations = ref [] and unknowns = ref 0 in
+          let budget_hit =
+            match item with
+            | W_check { cc_node; cc_seg; cc_st } ->
+              let step2 = make_flat config in
+              let check_one, _ =
+                crash_visitor config pl nodes summaries has_suspect
+                  ~stats:local ~violations ~unknowns step2
+              in
+              check_one cc_node cc_seg cc_st;
+              false
+            | W_subtree (node, st) -> (
+              let step2 = make_step2 config in
+              seed step2 st;
+              let _, visit =
+                crash_visitor config pl nodes summaries has_suspect
+                  ~stats:local ~violations ~unknowns step2
+              in
+              try visit node st; false with Path_budget -> true)
+          in
+          (local, List.rev !violations, !unknowns, budget_hit)
+        in
+        let results = Pool.map pool process (Array.of_list items) in
+        Array.fold_left
+          (fun (vs, unk, bh) (local, vs_i, unk_i, bh_i) ->
+            merge_counters stats local;
+            (vs @ vs_i, unk + unk_i, bh || bh_i))
+          ([], 0, false) results)
+    | _ ->
+      let step2 = make_step2 config in
+      let violations = ref [] in
+      let unknowns = ref 0 in
+      let _, visit =
+        crash_visitor config pl nodes summaries has_suspect ~stats
+          ~violations ~unknowns step2
+      in
+      let budget_hit =
+        try
+          if has_suspect.(entry) then begin
+            let st0 = Compose.initial ~assume:(base_assumptions config) () in
+            enter step2 st0;
+            visit entry st0;
+            leave step2
+          end;
+          false
+        with Path_budget -> true
+      in
+      (List.rev !violations, !unknowns, budget_hit)
   in
   stats.step2_time <- now () -. t0;
   let verdict =
-    if !violations <> [] then Violated (List.rev !violations)
+    if violations <> [] then Violated violations
     else if budget_hit then Unknown "composite path budget exceeded"
-    else if !unknowns > 0 then Unknown "solver budget exceeded on some checks"
+    else if unknowns > 0 then Unknown "solver budget exceeded on some checks"
     else if any_incomplete summaries then
       Unknown "element symbolic execution was incomplete"
     else Proved
@@ -343,20 +509,19 @@ type bound_report = {
   b_verdict : verdict;  (** Unknown if exploration was incomplete *)
 }
 
-let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
-    bound_report =
-  let stats = fresh_stats () in
-  let summaries = step1 config pl stats in
-  let nodes = Click.Pipeline.nodes pl in
-  let t0 = now () in
-  let step2 = make_step2 config in
-  (* Best feasible path so far: (instr_hi, summarized, witness). *)
-  let best : (int * bool * Vdp_packet.Packet.t) option ref = ref None in
-  (* Longest candidate that came back Unknown; if it exceeds the final
-     bound, the bound may undercount and must not be reported exact. *)
-  let unknown_hi = ref (-1) in
-  let completed : (Compose.t * bool) list ref = ref [] in
-  (* (final state, ended-in-crash) — flat mode only *)
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+(* The bound DFS body shared by the sequential pass and each parallel
+   subtree worker. [best] is (instr_hi, summarized, witness) of the
+   longest feasible path seen so far, first-in-DFS-order on ties.
+   [hint] is a pruning accelerator shared across workers: the largest
+   instr_hi proven feasible anywhere so far. Skipping paths at or below
+   it never loses the maximum, so the bound stays deterministic; which
+   equal-length witness is kept (and the check count) may vary. *)
+let bound_visitor cfg nodes (summaries : Summaries.entry array)
+    ~(stats : stats) ~best ~hint ~unknown_hi ~completed step2 =
   let record_unknown (st : Compose.t) =
     stats.unknown_checks <- stats.unknown_checks + 1;
     if st.Compose.instr_hi > !unknown_hi then unknown_hi := st.Compose.instr_hi
@@ -365,40 +530,37 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
      (sharing the prefix context), keeping the running maximum; only
      paths that could raise the maximum are checked. *)
   let leaf (st' : Compose.t) =
-    match step2 with
-    | Flat _ -> ()
-    | Incremental _ ->
-      let improves =
-        match !best with
-        | None -> true
-        | Some (b, _, _) -> st'.Compose.instr_hi > b
-      in
-      if improves then begin
-        stats.suspect_checks <- stats.suspect_checks + 1;
-        enter step2 st';
-        (match check_state step2 ~max_conflicts:config.solver_budget st' []
-         with
-        | Solver.Sat model ->
-          best :=
-            Some
-              ( st'.Compose.instr_hi,
-                st'.Compose.summarized,
-                Compose.witness_packet model
-                  ~max_len:config.engine.Engine.max_len )
-        | Solver.Unsat -> stats.refuted <- stats.refuted + 1
-        | Solver.Unknown -> record_unknown st');
-        leave step2
-      end
+    let improves =
+      (match !best with
+      | None -> true
+      | Some (b, _, _) -> st'.Compose.instr_hi > b)
+      && st'.Compose.instr_hi > Atomic.get hint
+    in
+    if improves then begin
+      stats.suspect_checks <- stats.suspect_checks + 1;
+      enter step2 st';
+      (match check_state step2 ~max_conflicts:cfg.solver_budget st' [] with
+      | Solver.Sat model ->
+        atomic_max hint st'.Compose.instr_hi;
+        best :=
+          Some
+            ( st'.Compose.instr_hi,
+              st'.Compose.summarized,
+              Compose.witness_packet model
+                ~max_len:cfg.engine.Engine.max_len )
+      | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+      | Solver.Unknown -> record_unknown st');
+      leave step2
+    end
   in
   let complete st' crashed =
     match step2 with
     | Flat _ -> completed := (st', crashed) :: !completed
     | Incremental _ -> leaf st'
   in
-  let exception Path_budget in
   let rec visit node (st : Compose.t) =
     stats.composite_paths <- stats.composite_paths + 1;
-    if stats.composite_paths > config.max_composite_paths then
+    if stats.composite_paths > cfg.max_composite_paths then
       raise Path_budget;
     let tag = Printf.sprintf "n%d" node in
     List.iter
@@ -417,48 +579,177 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
               leave step2))
       summaries.(node).Summaries.result.Engine.segments
   in
+  (record_unknown, complete, visit)
+
+(* One visit step of the bound DFS, as frontier expansion. The check
+   payload is a completed path: (final state, ended-in-crash). *)
+let bound_expand nodes (summaries : Summaries.entry array) node st =
+  let tag = Printf.sprintf "n%d" node in
+  List.concat_map
+    (fun (seg : Engine.segment) ->
+      let st' = Compose.apply st ~tag seg in
+      if not (Compose.plausible st') then []
+      else
+        match seg.Engine.outcome with
+        | Engine.O_crash _ -> [ W_check (st', true) ]
+        | Engine.O_drop -> [ W_check (st', false) ]
+        | Engine.O_emit p -> (
+          match nodes.(node).Click.Pipeline.outputs.(p) with
+          | None -> [ W_check (st', false) ]
+          | Some (dst, _) -> [ W_subtree (dst, st') ]))
+    summaries.(node).Summaries.result.Engine.segments
+
+let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
+    bound_report =
+  with_jobs config @@ fun pool ->
+  let stats = fresh_stats () in
+  let summaries = step1 ?pool config pl stats in
+  let nodes = Click.Pipeline.nodes pl in
+  let t0 = now () in
+  (* Best feasible path so far: (instr_hi, summarized, witness). *)
+  let best : (int * bool * Vdp_packet.Packet.t) option ref = ref None in
+  (* Longest candidate that came back Unknown; if it exceeds the final
+     bound, the bound may undercount and must not be reported exact. *)
+  let unknown_hi = ref (-1) in
+  let hint = Atomic.make (-1) in
+  let completed : (Compose.t * bool) list ref = ref [] in
+  (* (final state, ended-in-crash) — flat mode only *)
   let budget_hit =
-    try
+    match pool with
+    | Some pool when Pool.size pool > 1 -> (
       let st0 = Compose.initial ~assume:(base_assumptions config) () in
-      enter step2 st0;
-      visit (Click.Pipeline.entry pl) st0;
-      leave step2;
-      false
-    with Path_budget -> true
+      match
+        build_frontier
+          ~expand:(bound_expand nodes summaries)
+          ~target:(frontier_target config.jobs)
+          ~max_visits:config.max_composite_paths
+          [ W_subtree (Click.Pipeline.entry pl, st0) ]
+      with
+      | exception Path_budget -> true
+      | items, visits ->
+        stats.composite_paths <- stats.composite_paths + visits;
+        let process item =
+          let local = fresh_stats () in
+          let best_l = ref None and unknown_hi_l = ref (-1) in
+          let completed_l = ref [] in
+          let budget_hit =
+            match item with
+            | W_check (st, crashed) ->
+              (* A path completed during expansion: in incremental mode
+                 check it now (flat — there is no shared prefix left to
+                 exploit); in flat mode just collect it. *)
+              if config.incremental then begin
+                if st.Compose.instr_hi > Atomic.get hint then begin
+                  let step2 = make_flat config in
+                  local.suspect_checks <- local.suspect_checks + 1;
+                  match
+                    check_state step2 ~max_conflicts:config.solver_budget st
+                      []
+                  with
+                  | Solver.Sat model ->
+                    atomic_max hint st.Compose.instr_hi;
+                    best_l :=
+                      Some
+                        ( st.Compose.instr_hi,
+                          st.Compose.summarized,
+                          Compose.witness_packet model
+                            ~max_len:config.engine.Engine.max_len )
+                  | Solver.Unsat -> local.refuted <- local.refuted + 1
+                  | Solver.Unknown ->
+                    local.unknown_checks <- local.unknown_checks + 1;
+                    if st.Compose.instr_hi > !unknown_hi_l then
+                      unknown_hi_l := st.Compose.instr_hi
+                end
+              end
+              else completed_l := [ (st, crashed) ];
+              false
+            | W_subtree (node, st) -> (
+              let step2 = make_step2 config in
+              seed step2 st;
+              let _, _, visit =
+                bound_visitor config nodes summaries ~stats:local
+                  ~best:best_l ~hint ~unknown_hi:unknown_hi_l
+                  ~completed:completed_l step2
+              in
+              try visit node st; false with Path_budget -> true)
+          in
+          (local, !best_l, !unknown_hi_l, !completed_l, budget_hit)
+        in
+        let results = Pool.map pool process (Array.of_list items) in
+        (* Merge in item order: a later candidate replaces the best
+           only if strictly longer, so ties resolve to the first in
+           global DFS order — the same path the sequential DFS keeps. *)
+        let bh = ref false in
+        Array.iter
+          (fun (local, best_i, unknown_hi_i, _, bh_i) ->
+            merge_counters stats local;
+            (match best_i with
+            | Some (b, _, _)
+              when (match !best with
+                   | None -> true
+                   | Some (b0, _, _) -> b > b0) ->
+              best := best_i
+            | _ -> ());
+            if unknown_hi_i > !unknown_hi then unknown_hi := unknown_hi_i;
+            if bh_i then bh := true)
+          results;
+        (* Flat mode: reassemble the completed-paths list in the exact
+           reverse-DFS order the sequential push-front loop builds, so
+           the stable longest-first sort below breaks ties identically. *)
+        completed :=
+          Array.fold_left
+            (fun acc (_, _, _, completed_i, _) -> completed_i @ acc)
+            [] results;
+        !bh)
+    | _ -> (
+      let step2 = make_step2 config in
+      let _, _, visit =
+        bound_visitor config nodes summaries ~stats ~best ~hint ~unknown_hi
+          ~completed step2
+      in
+      try
+        let st0 = Compose.initial ~assume:(base_assumptions config) () in
+        enter step2 st0;
+        visit (Click.Pipeline.entry pl) st0;
+        leave step2;
+        false
+      with Path_budget -> true)
   in
-  (match step2 with
-  | Incremental _ -> ()
-  | Flat cache ->
-    (* Longest first; the first satisfiable path gives the bound. *)
-    let candidates =
-      List.sort
-        (fun ((a : Compose.t), _) (b, _) ->
-          Stdlib.compare b.Compose.instr_hi a.Compose.instr_hi)
-        !completed
-    in
-    let rec search = function
-      | [] -> ()
-      | ((st : Compose.t), _crashed) :: rest -> (
-        stats.suspect_checks <- stats.suspect_checks + 1;
-        match
-          Solver.check ?cache ~max_conflicts:config.solver_budget
-            st.Compose.cond
-        with
-        | Solver.Sat model ->
-          best :=
-            Some
-              ( st.Compose.instr_hi,
-                st.Compose.summarized,
-                Compose.witness_packet model
-                  ~max_len:config.engine.Engine.max_len )
-        | Solver.Unsat ->
-          stats.refuted <- stats.refuted + 1;
-          search rest
-        | Solver.Unknown ->
-          record_unknown st;
-          search rest)
-    in
-    search candidates);
+  (if not config.incremental then begin
+     (* Longest first; the first satisfiable path gives the bound. *)
+     let cache = if config.cache then Some Solver.shared_cache else None in
+     let candidates =
+       List.sort
+         (fun ((a : Compose.t), _) (b, _) ->
+           Stdlib.compare b.Compose.instr_hi a.Compose.instr_hi)
+         !completed
+     in
+     let rec search = function
+       | [] -> ()
+       | ((st : Compose.t), _crashed) :: rest -> (
+         stats.suspect_checks <- stats.suspect_checks + 1;
+         match
+           Solver.check ?cache ~max_conflicts:config.solver_budget
+             st.Compose.cond
+         with
+         | Solver.Sat model ->
+           best :=
+             Some
+               ( st.Compose.instr_hi,
+                 st.Compose.summarized,
+                 Compose.witness_packet model
+                   ~max_len:config.engine.Engine.max_len )
+         | Solver.Unsat ->
+           stats.refuted <- stats.refuted + 1;
+           search rest
+         | Solver.Unknown ->
+           stats.unknown_checks <- stats.unknown_checks + 1;
+           if st.Compose.instr_hi > !unknown_hi then
+             unknown_hi := st.Compose.instr_hi;
+           search rest)
+     in
+     search candidates
+   end);
   let bound, exact, witness =
     match !best with
     | Some (b, summarized, w) ->
@@ -501,20 +792,14 @@ type path_end =
   | End_drop of int    (** node index that dropped *)
   | End_crash of int
 
-let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
-    : report =
-  let stats = fresh_stats () in
-  let summaries = step1 config pl stats in
-  let nodes = Click.Pipeline.nodes pl in
-  let t0 = now () in
-  let step2 = make_step2 config in
-  let violations = ref [] in
-  let unknowns = ref 0 in
-  (* Incremental-mode precondition: the context holds [st.cond]. *)
+(* The reachability DFS body. [check_end] expects the context to hold
+   [st.cond] already (its caller entered the state). *)
+let reach_visitor cfg pl nodes (summaries : Summaries.entry array) ~bad
+    ~(stats : stats) ~violations ~unknowns step2 =
   let check_end node (st : Compose.t) outcome path_end =
     if bad path_end then begin
       stats.suspect_checks <- stats.suspect_checks + 1;
-      match check_small step2 ~max_conflicts:config.solver_budget st with
+      match check_small step2 ~max_conflicts:cfg.solver_budget st with
       | Solver.Unsat -> stats.refuted <- stats.refuted + 1
       | Solver.Unknown ->
         stats.unknown_checks <- stats.unknown_checks + 1;
@@ -529,17 +814,16 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
             witness =
               Some
                 (Compose.witness_packet model
-                   ~max_len:config.engine.Engine.max_len);
+                   ~max_len:cfg.engine.Engine.max_len);
             confirmed = false;
             stateful = false;
           }
           :: !violations
     end
   in
-  let exception Path_budget in
   let rec visit node (st : Compose.t) =
     stats.composite_paths <- stats.composite_paths + 1;
-    if stats.composite_paths > config.max_composite_paths then
+    if stats.composite_paths > cfg.max_composite_paths then
       raise Path_budget;
     let tag = Printf.sprintf "n%d" node in
     List.iter
@@ -570,20 +854,118 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
               leave step2))
       summaries.(node).Summaries.result.Engine.segments
   in
-  let budget_hit =
-    try
+  (check_end, visit)
+
+type reach_check = {
+  rc_node : int;
+  rc_outcome : Engine.outcome;
+  rc_end : path_end;
+  rc_st : Compose.t;
+}
+
+(* One visit step of the reachability DFS, as frontier expansion; only
+   path ends matching [bad] become check items. *)
+let reach_expand pl nodes (summaries : Summaries.entry array) ~bad node st =
+  let tag = Printf.sprintf "n%d" node in
+  let check seg st' path_end =
+    if bad path_end then
+      [ W_check
+          { rc_node = node; rc_outcome = seg.Engine.outcome;
+            rc_end = path_end; rc_st = st' } ]
+    else []
+  in
+  List.concat_map
+    (fun (seg : Engine.segment) ->
+      let st' = Compose.apply st ~tag seg in
+      if not (Compose.plausible st') then []
+      else
+        match seg.Engine.outcome with
+        | Engine.O_crash _ -> check seg st' (End_crash node)
+        | Engine.O_drop -> check seg st' (End_drop node)
+        | Engine.O_emit p -> (
+          match nodes.(node).Click.Pipeline.outputs.(p) with
+          | None -> (
+            match Click.Pipeline.egress_index pl ~node ~port:p with
+            | Some e -> check seg st' (End_egress e)
+            | None -> [])
+          | Some (dst, _) -> [ W_subtree (dst, st') ]))
+    summaries.(node).Summaries.result.Engine.segments
+
+let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
+    : report =
+  with_jobs config @@ fun pool ->
+  let stats = fresh_stats () in
+  let summaries = step1 ?pool config pl stats in
+  let nodes = Click.Pipeline.nodes pl in
+  let t0 = now () in
+  let violations, unknowns, budget_hit =
+    match pool with
+    | Some pool when Pool.size pool > 1 -> (
       let st0 = Compose.initial ~assume:(base_assumptions config) () in
-      enter step2 st0;
-      visit (Click.Pipeline.entry pl) st0;
-      leave step2;
-      false
-    with Path_budget -> true
+      match
+        build_frontier
+          ~expand:(reach_expand pl nodes summaries ~bad)
+          ~target:(frontier_target config.jobs)
+          ~max_visits:config.max_composite_paths
+          [ W_subtree (Click.Pipeline.entry pl, st0) ]
+      with
+      | exception Path_budget -> ([], 0, true)
+      | items, visits ->
+        stats.composite_paths <- stats.composite_paths + visits;
+        let process item =
+          let local = fresh_stats () in
+          let violations = ref [] and unknowns = ref 0 in
+          let budget_hit =
+            match item with
+            | W_check { rc_node; rc_outcome; rc_end; rc_st } ->
+              let step2 = make_flat config in
+              let check_end, _ =
+                reach_visitor config pl nodes summaries ~bad ~stats:local
+                  ~violations ~unknowns step2
+              in
+              check_end rc_node rc_st rc_outcome rc_end;
+              false
+            | W_subtree (node, st) -> (
+              let step2 = make_step2 config in
+              seed step2 st;
+              let _, visit =
+                reach_visitor config pl nodes summaries ~bad ~stats:local
+                  ~violations ~unknowns step2
+              in
+              try visit node st; false with Path_budget -> true)
+          in
+          (local, List.rev !violations, !unknowns, budget_hit)
+        in
+        let results = Pool.map pool process (Array.of_list items) in
+        Array.fold_left
+          (fun (vs, unk, bh) (local, vs_i, unk_i, bh_i) ->
+            merge_counters stats local;
+            (vs @ vs_i, unk + unk_i, bh || bh_i))
+          ([], 0, false) results)
+    | _ ->
+      let violations = ref [] in
+      let unknowns = ref 0 in
+      let step2 = make_step2 config in
+      let _, visit =
+        reach_visitor config pl nodes summaries ~bad ~stats ~violations
+          ~unknowns step2
+      in
+      let budget_hit =
+        try
+          let st0 = Compose.initial ~assume:(base_assumptions config) () in
+          enter step2 st0;
+          visit (Click.Pipeline.entry pl) st0;
+          leave step2;
+          false
+        with Path_budget -> true
+      in
+      (List.rev !violations, !unknowns, budget_hit)
   in
   stats.step2_time <- now () -. t0;
   let verdict =
-    if !violations <> [] then Violated (List.rev !violations)
+    if violations <> [] then Violated violations
     else if budget_hit then Unknown "composite path budget exceeded"
-    else if !unknowns > 0 then Unknown "solver budget exceeded on some checks"
+    else if unknowns > 0 then Unknown "solver budget exceeded on some checks"
     else if any_incomplete summaries then
       Unknown "element symbolic execution was incomplete"
     else Proved

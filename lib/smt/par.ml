@@ -1,0 +1,23 @@
+(** Process-wide parallel-mode switch.
+
+    The SMT substrate keeps two pieces of process-wide mutable state —
+    the hash-consing table in {!Term} and the shared query cache /
+    aggregate stats in {!Solver}. Guarding them with mutexes
+    unconditionally would tax the (overwhelmingly common) sequential
+    case, so locking is gated on this flag: a worker-pool
+    implementation calls {!enter} before spawning its domains and
+    {!leave} after joining them, and the substrate takes its locks only
+    while at least one pool is alive.
+
+    The counter is an [Atomic] so nested or overlapping pools compose;
+    {!active} is a single atomic load on the interning hot path. *)
+
+let pools = Atomic.make 0
+
+let enter () = Atomic.incr pools
+
+let leave () =
+  let p = Atomic.fetch_and_add pools (-1) in
+  if p <= 0 then invalid_arg "Par.leave: not in parallel mode"
+
+let active () = Atomic.get pools > 0

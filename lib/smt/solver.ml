@@ -30,8 +30,19 @@ let fresh_stats () =
 
 (* Process-wide aggregate, kept for compatibility: every context also
    bumps this record, so the sum over all solving activity remains
-   observable in one place. *)
+   observable in one place. Under parallel mode every stats bump is
+   serialised by [stats_lock] (contexts are single-domain, but they
+   share this aggregate), so counts are never lost to races. *)
 let stats = fresh_stats ()
+
+let stats_lock = Mutex.create ()
+
+let locked f =
+  if Par.active () then begin
+    Mutex.lock stats_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock stats_lock) f
+  end
+  else f ()
 
 let reset_stats_record s =
   s.calls <- 0;
@@ -59,36 +70,54 @@ module Cache = struct
     table : (int, outcome) Hashtbl.t;
     order : int Queue.t;  (* insertion order, for FIFO eviction *)
     capacity : int;
+    lock : Mutex.t;
+        (* taken only in parallel mode: a cache may then be shared by
+           every worker domain (lookup/insert stay individually atomic;
+           a racing duplicate solve is harmless and [add] dedupes) *)
   }
 
   let create ?(capacity = 1 lsl 14) () =
-    { table = Hashtbl.create 256; order = Queue.create (); capacity }
+    {
+      table = Hashtbl.create 256;
+      order = Queue.create ();
+      capacity;
+      lock = Mutex.create ();
+    }
+
+  let guarded c f =
+    if Par.active () then begin
+      Mutex.lock c.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+    end
+    else f ()
 
   let clear c =
-    Hashtbl.reset c.table;
-    Queue.clear c.order
+    guarded c (fun () ->
+        Hashtbl.reset c.table;
+        Queue.clear c.order)
 
-  let length c = Hashtbl.length c.table
+  let length c = guarded c (fun () -> Hashtbl.length c.table)
 
-  let find c id = Hashtbl.find_opt c.table id
+  let find c id = guarded c (fun () -> Hashtbl.find_opt c.table id)
 
   (* Returns the number of evicted entries (0 or 1). *)
   let add c id outcome =
-    if Hashtbl.mem c.table id then 0
-    else begin
-      let evicted =
-        if Hashtbl.length c.table >= c.capacity then (
-          match Queue.take_opt c.order with
-          | Some victim ->
-            Hashtbl.remove c.table victim;
-            1
-          | None -> 0)
-        else 0
-      in
-      Hashtbl.add c.table id outcome;
-      Queue.add id c.order;
-      evicted
-    end
+    guarded c (fun () ->
+        if Hashtbl.mem c.table id then 0
+        else begin
+          let evicted =
+            if Hashtbl.length c.table >= c.capacity then (
+              match Queue.take_opt c.order with
+              | Some victim ->
+                Hashtbl.remove c.table victim;
+                1
+              | None -> 0)
+            else 0
+          in
+          Hashtbl.add c.table id outcome;
+          Queue.add id c.order;
+          evicted
+        end)
 end
 
 (* One shared cache: identical composite conditions recur across the
@@ -107,7 +136,7 @@ let validate_model conj m =
    [sts] is the list of stats records to charge (the aggregate plus,
    for context-based solving, the context's own record). *)
 
-let tally sts f = List.iter f sts
+let tally sts f = locked (fun () -> List.iter f sts)
 
 let finish sts (o : outcome) =
   (match o with

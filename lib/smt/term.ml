@@ -89,17 +89,44 @@ end
 
 module Tbl = Hashtbl.Make (Node_key)
 
-let table : t Tbl.t = Tbl.create 65_536
-let next_id = ref 0
+(* The interning table is sharded by node hash so that concurrent
+   domains contend only when they intern structurally colliding nodes,
+   not on one global lock. Ids come from an atomic counter; they are
+   dense but not insertion-ordered under parallelism, which is fine —
+   everything downstream needs ids only as stable per-process keys and
+   as an arbitrary-but-fixed total order ([eq] canonicalisation).
 
-let mk node sort =
-  match Tbl.find_opt table node with
+   Sequential runs skip the mutexes entirely ([Par.active] is one
+   atomic load), so single-domain verification pays ~zero overhead. *)
+
+let shard_bits = 8
+let nshards = 1 lsl shard_bits
+
+type shard = { tbl : t Tbl.t; lock : Mutex.t }
+
+let shards =
+  Array.init nshards (fun _ ->
+      { tbl = Tbl.create 1_024; lock = Mutex.create () })
+
+let next_id = Atomic.make 0
+
+let intern shard node sort =
+  match Tbl.find_opt shard.tbl node with
   | Some t -> t
   | None ->
-    let t = { id = !next_id; node; sort } in
-    incr next_id;
-    Tbl.add table node t;
+    let t = { id = Atomic.fetch_and_add next_id 1; node; sort } in
+    Tbl.add shard.tbl node t;
     t
+
+let mk node sort =
+  let shard = shards.(Node_key.hash node land (nshards - 1)) in
+  if Par.active () then begin
+    Mutex.lock shard.lock;
+    match intern shard node sort with
+    | t -> Mutex.unlock shard.lock; t
+    | exception e -> Mutex.unlock shard.lock; raise e
+  end
+  else intern shard node sort
 
 (* {1 Basic constructors} *)
 

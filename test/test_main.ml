@@ -15,4 +15,5 @@ let () =
       ("interval", Test_interval.tests);
       ("config", Test_config.tests);
       ("incremental", Test_incremental.tests);
+      ("parallel", Test_parallel.tests);
     ]

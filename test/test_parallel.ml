@@ -1,0 +1,300 @@
+(* Domain-parallel verification: worker-pool semantics (ordering,
+   exception propagation, sequential fast path), domain-safety of the
+   shared SMT substrate (concurrent hash-consing, concurrent summary
+   computation), and randomized differentials checking that [-j 4]
+   produces exactly the sequential verdicts, bounds and violation
+   orders. *)
+
+module T = Vdp_smt.Term
+module Par = Vdp_smt.Par
+module E = Vdp_symbex.Engine
+module Click = Vdp_click
+module V = Vdp_verif.Verifier
+module Pool = Vdp_verif.Pool
+module Summaries = Vdp_verif.Summaries
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Worker pool} *)
+
+let pool_tests =
+  [
+    Alcotest.test_case "map is positional with uneven task costs" `Quick
+      (fun () ->
+        Pool.with_pool 4 (fun pool ->
+            let xs = Array.init 200 (fun i -> i) in
+            let f i =
+              (* Vary cost so claims interleave across runners. *)
+              let n = ref 0 in
+              for _ = 1 to (i mod 7) * 1_000 do
+                incr n
+              done;
+              ignore !n;
+              (i * i) + 1
+            in
+            let got = Pool.map pool f xs in
+            Alcotest.(check (array int)) "same as Array.map" (Array.map f xs)
+              got));
+    Alcotest.test_case "map propagates a worker exception" `Quick (fun () ->
+        Pool.with_pool 3 (fun pool ->
+            let xs = Array.init 100 (fun i -> i) in
+            Alcotest.check_raises "failure surfaces" (Failure "boom")
+              (fun () ->
+                ignore
+                  (Pool.map pool
+                     (fun i -> if i = 37 then failwith "boom" else i)
+                     xs));
+            (* The pool survives a failed map. *)
+            let got = Pool.map pool (fun i -> i + 1) xs in
+            check_int "reusable after failure" 100 got.(99)));
+    Alcotest.test_case "size-1 pool stays sequential" `Quick (fun () ->
+        check_bool "not in parallel mode before" false (Par.active ());
+        Pool.with_pool 1 (fun pool ->
+            check_int "size clamped" 1 (Pool.size pool);
+            check_bool "no parallel mode for one runner" false (Par.active ());
+            let got = Pool.map pool (fun i -> 2 * i) (Array.init 10 Fun.id) in
+            check_int "maps inline" 18 got.(9)));
+    Alcotest.test_case "parallel mode tracks pool lifetime" `Quick (fun () ->
+        check_bool "off before" false (Par.active ());
+        Pool.with_pool 2 (fun _ -> check_bool "on inside" true (Par.active ()));
+        check_bool "off after" false (Par.active ()));
+    Alcotest.test_case "map_list keeps order" `Quick (fun () ->
+        Pool.with_pool 2 (fun pool ->
+            Alcotest.(check (list int))
+              "same as List.map" [ 0; 1; 4; 9; 16 ]
+              (Pool.map_list pool (fun i -> i * i) [ 0; 1; 2; 3; 4 ])));
+  ]
+
+(* {1 Concurrent term interning} *)
+
+let interning_tests =
+  [
+    Alcotest.test_case "domains interning the same terms share nodes" `Quick
+      (fun () ->
+        (* Four domains race to intern an identical family of nested
+           terms; hash-consing must hand every domain the same physical
+           node for structurally equal terms, with distinct ids for
+           distinct terms. *)
+        let build () =
+          List.init 128 (fun i ->
+              let x = T.var "par_x" 16 in
+              let k = T.bv_int ~width:16 i in
+              T.and_ [ T.ult x (T.add x k); T.eq (T.band x k) k ])
+        in
+        let per_domain =
+          Pool.with_pool 4 (fun pool ->
+              Pool.map pool (fun _ -> build ()) (Array.init 4 Fun.id))
+        in
+        let reference = per_domain.(0) in
+        Array.iteri
+          (fun d terms ->
+            List.iter2
+              (fun a b ->
+                check_bool
+                  (Printf.sprintf "domain %d: physically equal" d)
+                  true (a == b))
+              reference terms)
+          per_domain;
+        let ids =
+          List.sort_uniq compare (List.map (fun t -> t.T.id) reference)
+        in
+        check_int "distinct terms keep distinct ids" 128 (List.length ids));
+  ]
+
+(* {1 Concurrent summaries} *)
+
+let summaries_tests =
+  [
+    Alcotest.test_case "concurrent summarize computes each key once" `Quick
+      (fun () ->
+        let cache = Summaries.create_cache () in
+        let el () =
+          Click.Registry.make ~name:"ttl" ~cls:"DecIPTTL" ~config:[]
+        in
+        let entries =
+          Pool.with_pool 4 (fun pool ->
+              Pool.map pool
+                (fun _ -> Summaries.summarize ~cache (el ()))
+                (Array.init 8 Fun.id))
+        in
+        (* The in-flight protocol guarantees one symbex: every caller
+           gets the single inserted entry back, physically. *)
+        check_int "one cache entry" 1 (Summaries.size ~cache ());
+        Array.iter
+          (fun e -> check_bool "same entry" true (e == entries.(0)))
+          entries);
+    Alcotest.test_case "summarize_all with a pool matches sequential" `Quick
+      (fun () ->
+        let els =
+          [|
+            Click.Registry.make ~name:"a" ~cls:"Strip" ~config:[ "14" ];
+            Click.Registry.make ~name:"b" ~cls:"DecIPTTL" ~config:[];
+            Click.Registry.make ~name:"c" ~cls:"Strip" ~config:[ "14" ];
+          |]
+        in
+        let seq_cache = Summaries.create_cache () in
+        let seq = Summaries.summarize_all ~cache:seq_cache els in
+        let par_cache = Summaries.create_cache () in
+        let par =
+          Pool.with_pool 3 (fun pool ->
+              Summaries.summarize_all ~pool ~cache:par_cache els)
+        in
+        check_int "same distinct summaries" (Summaries.size ~cache:seq_cache ())
+          (Summaries.size ~cache:par_cache ());
+        Array.iteri
+          (fun i (s : Summaries.entry) ->
+            check_int
+              (Printf.sprintf "element %d: same segment count" i)
+              (List.length s.Summaries.result.E.segments)
+              (List.length par.(i).Summaries.result.E.segments))
+          seq;
+        (* Repeated elements share one summary in both modes. *)
+        check_bool "sequential shares" true (seq.(0) == seq.(2));
+        check_bool "parallel shares" true (par.(0) == par.(2)));
+  ]
+
+(* {1 Randomized differential: sequential vs -j 4} *)
+
+let config ~jobs =
+  {
+    V.default_config with
+    V.engine = { E.default_config with E.max_len = 128 };
+    V.jobs;
+  }
+
+(* Random linear pipelines over a pool of cheap-to-verify elements;
+   element order is arbitrary, so both Proved and Violated verdicts
+   occur (e.g. Strip without a preceding length check crashes). *)
+let element_pool =
+  [|
+    (fun name -> Click.Registry.make ~name ~cls:"Classifier"
+        ~config:[ "12/0800"; "-" ]);
+    (fun name -> Click.Registry.make ~name ~cls:"Strip" ~config:[ "14" ]);
+    (fun name -> Click.Registry.make ~name ~cls:"CheckIPHeader" ~config:[]);
+    (fun name -> Click.Registry.make ~name ~cls:"DecIPTTL" ~config:[]);
+    (fun name -> Click.Registry.make ~name ~cls:"SetIPChecksum" ~config:[]);
+    (fun name -> Click.Registry.make ~name ~cls:"FlowCounter" ~config:[]);
+  |]
+
+let gen_pipeline : int list QCheck.Gen.t =
+  QCheck.Gen.(
+    list_size (int_range 2 5) (int_bound (Array.length element_pool - 1)))
+
+let build_pipeline picks =
+  Click.Pipeline.linear
+    (List.mapi (fun i p -> element_pool.(p) (Printf.sprintf "e%d_%d" i p))
+       picks)
+
+let print_pipeline picks =
+  String.concat "->" (List.map string_of_int picks)
+
+let violation_sig r =
+  match r.V.verdict with
+  | V.Violated vs ->
+    Some (List.map (fun v -> (v.V.node, v.V.element, v.V.confirmed)) vs)
+  | V.Proved -> None
+  | V.Unknown _ -> None
+
+let verdict_kind r =
+  match r.V.verdict with
+  | V.Proved -> `Proved
+  | V.Violated _ -> `Violated
+  | V.Unknown _ -> `Unknown
+
+let crash_differential =
+  QCheck.Test.make ~count:12
+    ~name:"crash freedom: -j 4 matches sequential verdicts exactly"
+    (QCheck.make ~print:print_pipeline gen_pipeline)
+    (fun picks ->
+      let pl = build_pipeline picks in
+      Summaries.clear ();
+      let seq = V.check_crash_freedom ~config:(config ~jobs:1) pl in
+      Summaries.clear ();
+      let par = V.check_crash_freedom ~config:(config ~jobs:4) pl in
+      verdict_kind seq = verdict_kind par
+      (* Violations in the same DFS order, at the same nodes, with the
+         same runtime confirmation. *)
+      && violation_sig seq = violation_sig par
+      && seq.V.stats.V.suspects = par.V.stats.V.suspects
+      && seq.V.stats.V.suspect_checks = par.V.stats.V.suspect_checks)
+
+let bound_differential =
+  QCheck.Test.make ~count:8
+    ~name:"instruction bound: -j 4 matches the sequential bound"
+    (QCheck.make ~print:print_pipeline gen_pipeline)
+    (fun picks ->
+      let pl = build_pipeline picks in
+      Summaries.clear ();
+      let seq = V.instruction_bound ~config:(config ~jobs:1) pl in
+      Summaries.clear ();
+      let par = V.instruction_bound ~config:(config ~jobs:4) pl in
+      seq.V.bound = par.V.bound
+      && (match (seq.V.b_verdict, par.V.b_verdict) with
+         | V.Proved, V.Proved -> true
+         | V.Unknown _, V.Unknown _ -> true
+         | V.Violated _, V.Violated _ -> true
+         | _ -> false))
+
+let fixed_differential_tests =
+  [
+    Alcotest.test_case "router: parallel crash stats match sequential" `Slow
+      (fun () ->
+        let pl =
+          Click.Pipeline.linear
+            [
+              Click.Registry.make ~name:"cl" ~cls:"Classifier"
+                ~config:[ "12/0800"; "-" ];
+              Click.Registry.make ~name:"strip" ~cls:"Strip"
+                ~config:[ "14" ];
+              Click.Registry.make ~name:"chk" ~cls:"CheckIPHeader"
+                ~config:[];
+              Click.Registry.make ~name:"ttl" ~cls:"DecIPTTL" ~config:[];
+            ]
+        in
+        Summaries.clear ();
+        let seq = V.check_crash_freedom ~config:(config ~jobs:1) pl in
+        Summaries.clear ();
+        let par = V.check_crash_freedom ~config:(config ~jobs:4) pl in
+        check_bool "both proved" true
+          (verdict_kind seq = `Proved && verdict_kind par = `Proved);
+        check_int "same composite paths" seq.V.stats.V.composite_paths
+          par.V.stats.V.composite_paths;
+        check_int "same suspect checks" seq.V.stats.V.suspect_checks
+          par.V.stats.V.suspect_checks;
+        check_int "same refutations" seq.V.stats.V.refuted
+          par.V.stats.V.refuted);
+    Alcotest.test_case "router: parallel bound and exactness match" `Slow
+      (fun () ->
+        let pl =
+          Click.Pipeline.linear
+            [
+              Click.Registry.make ~name:"cl" ~cls:"Classifier"
+                ~config:[ "12/0800"; "-" ];
+              Click.Registry.make ~name:"strip" ~cls:"Strip"
+                ~config:[ "14" ];
+              Click.Registry.make ~name:"chk" ~cls:"CheckIPHeader"
+                ~config:[];
+              Click.Registry.make ~name:"ttl" ~cls:"DecIPTTL" ~config:[];
+            ]
+        in
+        Summaries.clear ();
+        let seq = V.instruction_bound ~config:(config ~jobs:1) pl in
+        Summaries.clear ();
+        let par = V.instruction_bound ~config:(config ~jobs:4) pl in
+        check_bool "bound found" true (seq.V.bound <> None);
+        check_bool "same bound" true (seq.V.bound = par.V.bound);
+        check_bool "same exactness" true (seq.V.exact = par.V.exact);
+        (* Both witnesses, possibly different packets, must attain a
+           runtime measurement within the proved bound. *)
+        match (seq.V.measured, par.V.measured, seq.V.bound) with
+        | Some a, Some b, Some bd ->
+          check_bool "measured within bound" true (a <= bd && b <= bd)
+        | _ -> Alcotest.fail "expected measured witnesses");
+  ]
+
+let tests =
+  pool_tests @ interning_tests @ summaries_tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [ crash_differential; bound_differential ]
+  @ fixed_differential_tests
