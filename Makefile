@@ -17,7 +17,10 @@ ci: build
 	dune runtest
 	dune exec bin/vdpverify.exe -- crash examples/router.click
 	dune exec bin/vdpverify.exe -- crash -j 4 examples/router.click
+	dune exec bin/vdpverify.exe -- replay examples/router.click
+	dune exec bin/vdpverify.exe -- replay examples/firewall.click
 	dune exec bench/main.exe -- e1
+	dune exec bench/main.exe -- e8
 
 clean:
 	dune clean

@@ -97,6 +97,10 @@ end
 let json_fields : (string * Json.t) list ref = ref []
 let record k v = json_fields := !json_fields @ [ (k, v) ]
 
+(* Experiments that double as checks (E8) flip this on failure; the
+   driver still writes their JSON before exiting nonzero. *)
+let exit_code = ref 0
+
 let verdict_str v =
   Format.asprintf "%a" Vdp_verif.Report.pp_verdict v
 
@@ -630,6 +634,142 @@ let e7 () =
      the parallel runs measure coordination overhead, not speedup.\n"
     (Domain.recommended_domain_count ())
 
+(* {1 E8 — witness replay and the differential oracle} *)
+
+let e8 () =
+  section
+    "E8: witness replay + differential fuzzing (summaries vs concrete \
+     runtime)";
+  let module W = Vdp_verif.Witness in
+  Summaries.clear ();
+  let seed = 7 and count = 500 in
+  (* Part 1: the differential oracle on the safe pipelines — every random
+     packet must take the same path, touch the same state and spend an
+     instruction count inside the summarized interval on both sides. *)
+  let pipelines =
+    [
+      ("ip-router (7 elements)", full_router ());
+      ("NetFlow+NAT", Click.Config.parse nat_config);
+    ]
+    @ List.filter_map
+        (fun path ->
+          if Sys.file_exists path then
+            Some (path, Click.Config.parse_file path)
+          else None)
+        [ "examples/router.click"; "examples/firewall.click" ]
+  in
+  Printf.printf "%-28s %8s %8s %8s %10s %9s\n" "pipeline" "packets" "hops"
+    "approx" "disagree" "time(s)";
+  let rows = ref [] in
+  let failed = ref false in
+  let run_one name r dt =
+    let nfail = List.length r.W.f_failures in
+    if nfail > 0 then failed := true;
+    Printf.printf "%-28s %8d %8d %8d %10d %9.2f\n%!" name r.W.f_packets
+      r.W.f_hops r.W.f_approx nfail dt;
+    List.iter
+      (fun (i, m) -> Printf.printf "    packet %d: %s\n" i m)
+      r.W.f_failures;
+    rows :=
+      Json.Obj
+        [
+          ("pipeline", Json.Str name);
+          ("packets", Json.Int r.W.f_packets);
+          ("hops", Json.Int r.W.f_hops);
+          ("approx_hops", Json.Int r.W.f_approx);
+          ("disagreements", Json.Int nfail);
+          ("seconds", Json.Float dt);
+        ]
+      :: !rows
+  in
+  List.iter
+    (fun (name, pl) ->
+      let r, dt = time (fun () -> W.differential ~seed ~count pl) in
+      run_one name r dt)
+    pipelines;
+  (* The same workload with Step 1 fanned out over 4 domains must agree
+     byte for byte with the sequential run. *)
+  let rpar, dtp =
+    time (fun () ->
+        Vdp_verif.Pool.with_pool 4 (fun pool ->
+            W.differential ~pool ~seed ~count (full_router ())))
+  in
+  run_one "ip-router (j=4)" rpar dtp;
+  record "differential" (Json.List (List.rev !rows));
+  record "seed" (Json.Int seed);
+  (* Part 2: replay confirmation — every violation the verifier reports
+     on the buggy pipelines must reproduce on the concrete runtime, from
+     the witness packet plus the recovered initial private state. *)
+  let guard cls config =
+    Click.Pipeline.linear
+      [
+        Click.Registry.make ~name:"cl" ~cls:"Classifier" ~config:[ "12/0800" ];
+        Click.Registry.make ~name:"strip" ~cls:"Strip" ~config:[ "14" ];
+        Click.Registry.make ~name:"chk" ~cls:"CheckIPHeader" ~config:[];
+        Click.Registry.make ~name:"x" ~cls ~config;
+      ]
+  in
+  let buggy =
+    [
+      ("toy e2 (assert crash)", Click.El_toy.e2_pipeline ());
+      ("BuggyCounter", guard "BuggyCounter" []);
+      ("BuggyQuota(1000)", guard "BuggyQuota" [ "1000" ]);
+      ("BuggyNAT", guard "BuggyNAT" [ "198.51.100.1" ]);
+    ]
+  in
+  Printf.printf "\n%-24s %10s %10s %10s\n" "buggy pipeline" "violations"
+    "replays" "confirmed";
+  let vrows = ref [] in
+  let total_replays = ref 0 and total_confirmed = ref 0 in
+  List.iter
+    (fun (name, pl) ->
+      Summaries.clear ();
+      let r = V.check_crash_freedom pl in
+      let vs = match r.V.verdict with V.Violated vs -> vs | _ -> [] in
+      let confirmed = List.filter (fun v -> v.V.confirmed) vs in
+      total_replays := !total_replays + r.V.stats.V.replays;
+      total_confirmed := !total_confirmed + r.V.stats.V.replays_confirmed;
+      if vs = [] || List.length confirmed < List.length vs then begin
+        failed := true;
+        List.iter
+          (fun (v : V.violation) ->
+            if not v.V.confirmed then
+              Printf.printf "    UNCONFIRMED at node %d: %s\n" v.V.node
+                (match v.V.replayed with
+                | Some { W.status = W.Unconfirmed why; _ } -> why
+                | _ -> "no replay attempted"))
+          vs
+      end;
+      Printf.printf "%-24s %10d %10d %10d\n%!" name (List.length vs)
+        r.V.stats.V.replays (List.length confirmed);
+      vrows :=
+        Json.Obj
+          [
+            ("pipeline", Json.Str name);
+            ("violations", Json.Int (List.length vs));
+            ("replays", Json.Int r.V.stats.V.replays);
+            ("confirmed", Json.Int (List.length confirmed));
+          ]
+        :: !vrows)
+    buggy;
+  record "violations" (Json.List (List.rev !vrows));
+  record "replays" (Json.Int !total_replays);
+  record "replays_confirmed" (Json.Int !total_confirmed);
+  record "confirm_rate"
+    (Json.Float
+       (if !total_replays = 0 then 0.
+        else float_of_int !total_confirmed /. float_of_int !total_replays));
+  record "pass" (Json.Bool (not !failed));
+  if !failed then begin
+    Printf.printf "\nE8 FAILED: disagreement or unconfirmed violation above\n";
+    exit_code := 1
+  end
+  else
+    Printf.printf
+      "\nevery random packet agreed on both sides and every reported\n\
+       violation reproduced concretely (confirm rate %d/%d).\n"
+      !total_confirmed !total_replays
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -713,7 +853,8 @@ let micro () =
 (* {1 Driver} *)
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
-            "e4", e4; "e5", e5; "e6", e6; "e7", e7; "micro", micro ]
+            "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8;
+            "micro", micro ]
 
 let () =
   let requested =
@@ -739,4 +880,5 @@ let () =
         Printf.eprintf "unknown experiment %s (have: %s)\n" name
           (String.concat ", " (List.map fst all));
         exit 1)
-    requested
+    requested;
+  if !exit_code <> 0 then exit !exit_code

@@ -48,6 +48,15 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let no_replay_arg =
+  let doc =
+    "Skip replaying witnesses on the concrete runtime. By default every \
+     violation's witness (packet plus the initial private state its path \
+     depends on) is re-executed and the violation is only reported as \
+     confirmed when the runtime reproduces the claimed outcome."
+  in
+  Arg.(value & flag & info [ "no-replay" ] ~doc)
+
 let load path =
   try Ok (Vdp_click.Config.parse_file path) with
   | Vdp_click.Config.Parse_error m ->
@@ -58,17 +67,19 @@ let load path =
     Error (Printf.sprintf "bad configuration for %s: %s" cls m)
   | Invalid_argument m -> Error m
 
-let verifier_config max_len ~no_incremental ~no_cache ~jobs =
+let verifier_config max_len ~no_incremental ~no_cache ~no_replay ~jobs =
   {
     V.default_config with
     V.engine = { E.default_config with E.max_len };
     V.incremental = not no_incremental;
     V.cache = not no_cache;
+    V.replay = not no_replay;
     V.jobs = max 1 jobs;
   }
 
 let crash_cmd =
-  let run config_path max_len monolithic budget no_incremental no_cache jobs =
+  let run config_path max_len monolithic budget no_incremental no_cache
+      no_replay jobs =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -99,7 +110,7 @@ let crash_cmd =
       end
       else begin
         let config =
-          verifier_config max_len ~no_incremental ~no_cache ~jobs
+          verifier_config max_len ~no_incremental ~no_cache ~no_replay ~jobs
         in
         let r = V.check_crash_freedom ~config pl in
         Format.printf "%a@." Vdp_verif.Report.pp_report r;
@@ -111,16 +122,18 @@ let crash_cmd =
     (Cmd.info "crash" ~doc)
     Term.(
       const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg
-      $ no_incremental_arg $ no_cache_arg $ jobs_arg)
+      $ no_incremental_arg $ no_cache_arg $ no_replay_arg $ jobs_arg)
 
 let bound_cmd =
-  let run config_path max_len no_incremental no_cache jobs =
+  let run config_path max_len no_incremental no_cache no_replay jobs =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
       1
     | Ok pl ->
-      let config = verifier_config max_len ~no_incremental ~no_cache ~jobs in
+      let config =
+        verifier_config max_len ~no_incremental ~no_cache ~no_replay ~jobs
+      in
       let r = V.instruction_bound ~config pl in
       Format.printf "%a@." Vdp_verif.Report.pp_bound_report r;
       (match r.V.b_verdict with V.Proved -> 0 | _ -> 2)
@@ -130,7 +143,51 @@ let bound_cmd =
     (Cmd.info "bound" ~doc)
     Term.(
       const run $ config_arg $ max_len_arg $ no_incremental_arg
-      $ no_cache_arg $ jobs_arg)
+      $ no_cache_arg $ no_replay_arg $ jobs_arg)
+
+let replay_cmd =
+  let run config_path max_len count seed jobs =
+    match load config_path with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok pl ->
+      let config = { E.default_config with E.max_len } in
+      let r =
+        if jobs <= 1 then
+          Vdp_verif.Witness.differential ~config ~seed ~count pl
+        else
+          Vdp_verif.Pool.with_pool jobs (fun pool ->
+              Vdp_verif.Witness.differential ~pool ~config ~seed ~count pl)
+      in
+      Format.printf
+        "differential: %d packets, %d hops (%d matched approximately), %d \
+         disagreement(s)@."
+        r.Vdp_verif.Witness.f_packets r.Vdp_verif.Witness.f_hops
+        r.Vdp_verif.Witness.f_approx
+        (List.length r.Vdp_verif.Witness.f_failures);
+      List.iter
+        (fun (i, m) -> Format.printf "  packet %d: %s@." i m)
+        r.Vdp_verif.Witness.f_failures;
+      if r.Vdp_verif.Witness.f_failures = [] then 0 else 2
+  in
+  let count_arg =
+    let doc = "Number of fuzzed packets to run through both sides." in
+    Arg.(value & opt int 500 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for the packet workload." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let doc =
+    "Differential fuzzing: run random packets through the concrete runtime \
+     and the symbolic summaries side by side; any disagreement on path, \
+     state, packet contents or instruction counts is a verifier bug."
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ count_arg $ seed_arg $ jobs_arg)
 
 let show_cmd =
   let run config_path =
@@ -157,6 +214,6 @@ let main =
   let doc = "verify software-dataplane pipelines" in
   Cmd.group
     (Cmd.info "vdpverify" ~version:"1.0.0" ~doc)
-    [ crash_cmd; bound_cmd; show_cmd; classes_cmd ]
+    [ crash_cmd; bound_cmd; replay_cmd; show_cmd; classes_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -24,6 +24,14 @@ let instantiate pipeline =
 
 let reset inst = Array.iter Stores.reset inst.stores
 
+(** Preload private store entries, e.g. the initial state a verifier
+    witness depends on: [(node, store, [(key, value); ...])]. *)
+let load_state inst entries =
+  List.iter
+    (fun (node, store, kvs) ->
+      List.iter (fun (k, v) -> Stores.write inst.stores.(node) store k v) kvs)
+    entries
+
 type step = {
   node : int;
   element : string;
@@ -45,8 +53,11 @@ type run = {
 let max_hops = 1024
 
 (** Push one packet in at [in_port] of the entry element. The packet is
-    mutated in place (clone first if you need the original). *)
-let push ?(in_port = 0) inst pkt =
+    mutated in place (clone first if you need the original). [trace] is
+    called after every element with the step just taken and the packet
+    as the element left it — before the output port meta is rewritten
+    for the next hop — so a caller can snapshot per-element state. *)
+let push ?(in_port = 0) ?trace inst pkt =
   pkt.P.port <- in_port;
   let steps = ref [] in
   let total = ref 0 in
@@ -58,14 +69,16 @@ let push ?(in_port = 0) inst pkt =
     let prog = n.Pipeline.element.Element.program in
     let r = Interp.run prog inst.stores.(ni) pkt in
     total := !total + r.Interp.instr_count;
-    steps :=
+    let step =
       {
         node = ni;
         element = n.Pipeline.element.Element.name;
         outcome = r.Interp.outcome;
         instrs = r.Interp.instr_count;
       }
-      :: !steps;
+    in
+    steps := step :: !steps;
+    (match trace with Some f -> f step pkt | None -> ());
     match r.Interp.outcome with
     | Ir.Emitted p -> (
       match n.Pipeline.outputs.(p) with

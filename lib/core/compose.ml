@@ -40,6 +40,9 @@ type t = {
   summarized : bool;
   kv_trace : (string * S.kv_event) list;
       (** (position tag, renamed event), newest first *)
+  trail : string list;
+      (** position tags of the segments applied so far, newest first —
+          the node path this composite state predicts *)
 }
 
 let initial ?(assume = []) () =
@@ -54,6 +57,7 @@ let initial ?(assume = []) () =
     instr_hi = 0;
     summarized = false;
     kv_trace = [];
+    trail = [];
   }
 
 (** Byte [j] of the current window as a term over original inputs. *)
@@ -163,6 +167,7 @@ let apply st ~tag (seg : Engine.segment) =
     instr_hi = st.instr_hi + seg.Engine.instr_hi;
     summarized = st.summarized || seg.Engine.summarized;
     kv_trace = List.rev_append kv_new st.kv_trace;
+    trail = tag :: st.trail;
   }
 
 (** Cheap infeasibility filter for pruning during path enumeration. *)

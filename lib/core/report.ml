@@ -8,6 +8,26 @@ let pp_violation fmt (v : Verifier.violation) =
     v.Verifier.outcome
     (if v.Verifier.confirmed then " [reproduced on the runtime]" else "")
     (if v.Verifier.stateful then " [depends on private state]" else "");
+  (match v.Verifier.replayed with
+  | Some r -> (
+    (match r.Witness.status with
+    | Witness.Confirmed -> ()
+    | Witness.Unconfirmed why ->
+      Format.fprintf fmt "replay did not reproduce it: %s@," why);
+    match r.Witness.state with
+    | [] -> ()
+    | state ->
+      Format.fprintf fmt "initial state loaded for the replay:@,";
+      List.iter
+        (fun (node, store, kvs) ->
+          List.iter
+            (fun (k, value) ->
+              Format.fprintf fmt "  node %d %s[%s] = %s@," node store
+                (Vdp_bitvec.Bitvec.to_string_hex k)
+                (Vdp_bitvec.Bitvec.to_string_hex value))
+            kvs)
+        state)
+  | None -> ());
   (match v.Verifier.witness with
   | Some pkt ->
     let shown =
@@ -58,6 +78,10 @@ let pp_bound_report fmt (r : Verifier.bound_report) =
   (match r.Verifier.measured with
   | Some m -> Format.fprintf fmt "; witness measured at %d instructions" m
   | None -> ());
+  (match r.Verifier.b_replayed with
+  | Some { Witness.status = Witness.Unconfirmed why; _ } ->
+    Format.fprintf fmt "@,  replay did not reproduce the bound: %s" why
+  | _ -> ());
   Format.fprintf fmt "@,  %a@," pp_stats r.Verifier.b_stats;
   (match r.Verifier.witness with
   | Some pkt ->

@@ -52,6 +52,13 @@ type config = {
   solver_budget : int;  (** conflict budget per composite check *)
   assume : T.t list;    (** extra assumptions on the input packet *)
   validate_witnesses : bool;
+  replay : bool;
+      (** replay each witness through {!Witness.replay}: derive the
+          initial private state the violating path depends on, load it,
+          and require the concrete runtime to reproduce the claimed
+          outcome before tagging the violation confirmed. Off, the
+          legacy stateless spot-check of [validate_witnesses] is all
+          that runs. *)
   max_composite_paths : int;
   incremental : bool;
       (** carry one push/pop solver context down the Step-2 DFS *)
@@ -70,6 +77,7 @@ let default_config =
     solver_budget = 2_000_000;
     assume = [];
     validate_witnesses = true;
+    replay = true;
     max_composite_paths = 2_000_000;
     incremental = true;
     cache = true;
@@ -85,6 +93,9 @@ type violation = {
   confirmed : bool;
       (** the witness reproduced the outcome on the concrete runtime *)
   stateful : bool;  (** depends on values read from private state *)
+  replayed : Witness.t option;
+      (** full replay record (run, loaded state, divergence point) when
+          [config.replay] was on *)
 }
 
 type verdict =
@@ -101,6 +112,8 @@ type stats = {
   mutable suspect_checks : int;
   mutable refuted : int;
   mutable unknown_checks : int;
+  mutable replays : int;
+  mutable replays_confirmed : int;
   mutable step1_time : float;
   mutable step2_time : float;
 }
@@ -115,6 +128,8 @@ let fresh_stats () =
     suspect_checks = 0;
     refuted = 0;
     unknown_checks = 0;
+    replays = 0;
+    replays_confirmed = 0;
     step1_time = 0.;
     step2_time = 0.;
   }
@@ -228,6 +243,35 @@ let validate_crash pl pkt node =
   | Click.Runtime.Crashed_at (n, _) -> n = node
   | _ -> false
 
+(* Replay one Sat model: with [config.replay], through the full
+   witness-replay machinery (initial private state derived from the
+   model and loaded); otherwise the legacy stateless spot-check.
+   Returns (replay record, witness packet, confirmed). *)
+let replay_model cfg pl (stats : stats) ~model ~st ~expect =
+  let max_len = cfg.engine.Engine.max_len in
+  if cfg.replay && cfg.validate_witnesses then begin
+    let r = Witness.replay pl ~max_len ~model ~st ~expect in
+    stats.replays <- stats.replays + 1;
+    let ok = Witness.confirmed r in
+    if ok then stats.replays_confirmed <- stats.replays_confirmed + 1;
+    (Some r, r.Witness.packet, ok)
+  end
+  else
+    let pkt = Compose.witness_packet model ~max_len in
+    let confirmed =
+      cfg.validate_witnesses
+      &&
+      match expect with
+      | Witness.Crash_at node -> validate_crash pl pkt node
+      | _ -> false
+    in
+    (None, pkt, confirmed)
+
+let trace_reads_kv (st : Compose.t) =
+  List.exists
+    (fun (_, ev) -> match ev with S.Kv_read _ -> true | _ -> false)
+    st.Compose.kv_trace
+
 let segment_reads_kv (seg : Engine.segment) =
   List.exists
     (function S.Kv_read _ -> true | S.Kv_write _ -> false)
@@ -286,7 +330,9 @@ let merge_counters into (from : stats) =
   into.composite_paths <- into.composite_paths + from.composite_paths;
   into.suspect_checks <- into.suspect_checks + from.suspect_checks;
   into.refuted <- into.refuted + from.refuted;
-  into.unknown_checks <- into.unknown_checks + from.unknown_checks
+  into.unknown_checks <- into.unknown_checks + from.unknown_checks;
+  into.replays <- into.replays + from.replays;
+  into.replays_confirmed <- into.replays_confirmed + from.replays_confirmed
 
 (* {1 Crash freedom} *)
 
@@ -305,18 +351,12 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
       stats.unknown_checks <- stats.unknown_checks + 1;
       incr unknowns
     | Solver.Sat model ->
-      let witness =
-        Compose.witness_packet model ~max_len:cfg.engine.Engine.max_len
-      in
       let stateful =
-        List.exists
-          (fun (_, ev) ->
-            match ev with S.Kv_read _ -> true | _ -> false)
-          st'.Compose.kv_trace
-        && segment_reads_kv seg
+        trace_reads_kv st' && segment_reads_kv seg
       in
-      let confirmed =
-        cfg.validate_witnesses && validate_crash pl witness node
+      let replayed, witness, confirmed =
+        replay_model cfg pl stats ~model ~st:st'
+          ~expect:(Witness.Crash_at node)
       in
       violations :=
         {
@@ -327,6 +367,7 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
           witness = Some witness;
           confirmed;
           stateful;
+          replayed;
         }
         :: !violations);
     leave step2
@@ -505,6 +546,9 @@ type bound_report = {
   witness : Vdp_packet.Packet.t option;
   measured : int option;
       (** instructions the runtime actually spent on the witness *)
+  b_replayed : Witness.t option;
+      (** replay record of the witness (with its derived initial
+          state), when [config.replay] was on *)
   b_stats : stats;
   b_verdict : verdict;  (** Unknown if exploration was incomplete *)
 }
@@ -514,8 +558,9 @@ let rec atomic_max a v =
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
 (* The bound DFS body shared by the sequential pass and each parallel
-   subtree worker. [best] is (instr_hi, summarized, witness) of the
-   longest feasible path seen so far, first-in-DFS-order on ties.
+   subtree worker. [best] is (instr_hi, final composite state, model)
+   of the longest feasible path seen so far, first-in-DFS-order on
+   ties.
    [hint] is a pruning accelerator shared across workers: the largest
    instr_hi proven feasible anywhere so far. Skipping paths at or below
    it never loses the maximum, so the bound stays deterministic; which
@@ -542,12 +587,7 @@ let bound_visitor cfg nodes (summaries : Summaries.entry array)
       (match check_state step2 ~max_conflicts:cfg.solver_budget st' [] with
       | Solver.Sat model ->
         atomic_max hint st'.Compose.instr_hi;
-        best :=
-          Some
-            ( st'.Compose.instr_hi,
-              st'.Compose.summarized,
-              Compose.witness_packet model
-                ~max_len:cfg.engine.Engine.max_len )
+        best := Some (st'.Compose.instr_hi, st', model)
       | Solver.Unsat -> stats.refuted <- stats.refuted + 1
       | Solver.Unknown -> record_unknown st');
       leave step2
@@ -606,8 +646,8 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
   let summaries = step1 ?pool config pl stats in
   let nodes = Click.Pipeline.nodes pl in
   let t0 = now () in
-  (* Best feasible path so far: (instr_hi, summarized, witness). *)
-  let best : (int * bool * Vdp_packet.Packet.t) option ref = ref None in
+  (* Best feasible path so far: (instr_hi, final state, model). *)
+  let best : (int * Compose.t * Vdp_smt.Model.t) option ref = ref None in
   (* Longest candidate that came back Unknown; if it exceeds the final
      bound, the bound may undercount and must not be reported exact. *)
   let unknown_hi = ref (-1) in
@@ -648,12 +688,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
                   with
                   | Solver.Sat model ->
                     atomic_max hint st.Compose.instr_hi;
-                    best_l :=
-                      Some
-                        ( st.Compose.instr_hi,
-                          st.Compose.summarized,
-                          Compose.witness_packet model
-                            ~max_len:config.engine.Engine.max_len )
+                    best_l := Some (st.Compose.instr_hi, st, model)
                   | Solver.Unsat -> local.refuted <- local.refuted + 1
                   | Solver.Unknown ->
                     local.unknown_checks <- local.unknown_checks + 1;
@@ -732,13 +767,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
            Solver.check ?cache ~max_conflicts:config.solver_budget
              st.Compose.cond
          with
-         | Solver.Sat model ->
-           best :=
-             Some
-               ( st.Compose.instr_hi,
-                 st.Compose.summarized,
-                 Compose.witness_packet model
-                   ~max_len:config.engine.Engine.max_len )
+         | Solver.Sat model -> best := Some (st.Compose.instr_hi, st, model)
          | Solver.Unsat ->
            stats.refuted <- stats.refuted + 1;
            search rest
@@ -750,19 +779,40 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
      in
      search candidates
    end);
-  let bound, exact, witness =
+  let bound, exact =
     match !best with
-    | Some (b, summarized, w) ->
-      (Some b, (not summarized) && !unknown_hi <= b, Some w)
-    | None -> (None, false, None)
+    | Some (b, st, _) ->
+      (Some b, (not st.Compose.summarized) && !unknown_hi <= b)
+    | None -> (None, false)
   in
-  let measured =
-    match witness with
-    | Some pkt when config.validate_witnesses ->
-      let inst = Click.Runtime.instantiate pl in
-      let r = Click.Runtime.push inst (Vdp_packet.Packet.clone pkt) in
-      Some r.Click.Runtime.total_instrs
-    | _ -> None
+  let witness, measured, b_replayed =
+    match !best with
+    | None -> (None, None, None)
+    | Some (_, st, model) ->
+      let max_len = config.engine.Engine.max_len in
+      if config.replay && config.validate_witnesses then begin
+        (* Load the private state the longest path assumed, then require
+           the runtime's count to land inside the path's interval. *)
+        let r =
+          Witness.replay pl ~max_len ~model ~st
+            ~expect:
+              (Witness.Instrs_between
+                 (st.Compose.instr_lo, st.Compose.instr_hi))
+        in
+        stats.replays <- stats.replays + 1;
+        if Witness.confirmed r then
+          stats.replays_confirmed <- stats.replays_confirmed + 1;
+        ( Some r.Witness.packet,
+          Some r.Witness.run.Click.Runtime.total_instrs,
+          Some r )
+      end
+      else
+        let pkt = Compose.witness_packet model ~max_len in
+        if config.validate_witnesses then
+          let inst = Click.Runtime.instantiate pl in
+          let r = Click.Runtime.push inst (Vdp_packet.Packet.clone pkt) in
+          (Some pkt, Some r.Click.Runtime.total_instrs, None)
+        else (Some pkt, None, None)
   in
   stats.step2_time <- now () -. t0;
   let verdict =
@@ -778,6 +828,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
     exact;
     witness;
     measured;
+    b_replayed;
     b_stats = stats;
     b_verdict = verdict;
   }
@@ -792,6 +843,11 @@ type path_end =
   | End_drop of int    (** node index that dropped *)
   | End_crash of int
 
+let expect_of_end = function
+  | End_egress e -> Witness.Egress_at e
+  | End_drop n -> Witness.Drop_at n
+  | End_crash n -> Witness.Crash_at n
+
 (* The reachability DFS body. [check_end] expects the context to hold
    [st.cond] already (its caller entered the state). *)
 let reach_visitor cfg pl nodes (summaries : Summaries.entry array) ~bad
@@ -805,18 +861,20 @@ let reach_visitor cfg pl nodes (summaries : Summaries.entry array) ~bad
         stats.unknown_checks <- stats.unknown_checks + 1;
         incr unknowns
       | Solver.Sat model ->
+        let replayed, witness, confirmed =
+          replay_model cfg pl stats ~model ~st
+            ~expect:(expect_of_end path_end)
+        in
         violations :=
           {
             node;
             element = nodes.(node).Click.Pipeline.element.Click.Element.name;
             outcome;
             cond = st.Compose.cond;
-            witness =
-              Some
-                (Compose.witness_packet model
-                   ~max_len:cfg.engine.Engine.max_len);
-            confirmed = false;
-            stateful = false;
+            witness = Some witness;
+            confirmed;
+            stateful = trace_reads_kv st;
+            replayed;
           }
           :: !violations
     end

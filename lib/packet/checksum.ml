@@ -16,6 +16,23 @@ let ones_sum ?(initial = 0) data off len =
   done;
   !sum
 
+(* Same, reading a [Bytes.t] in place — the packet-facing entry points
+   below must not copy the whole buffer per call. *)
+let ones_sum_bytes ?(initial = 0) data off len =
+  let sum = ref initial in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + (Char.code (Bytes.get data (off + !i)) lsl 8)
+           + Char.code (Bytes.get data (off + !i + 1));
+    i := !i + 2
+  done;
+  if !i < len then
+    sum := !sum + (Char.code (Bytes.get data (off + !i)) lsl 8);
+  while !sum > 0xffff do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  !sum
+
 let checksum ?initial data off len = lnot (ones_sum ?initial data off len) land 0xffff
 
 (** [valid data off len] — true iff the region checksums to zero
@@ -24,7 +41,7 @@ let valid data off len = ones_sum data off len = 0xffff
 
 (** Checksum of a packet region, offsets relative to the head. *)
 let over_packet (p : Packet.t) off len =
-  checksum (Bytes.to_string p.Packet.buf) (p.Packet.head + off) len
+  lnot (ones_sum_bytes p.Packet.buf (p.Packet.head + off) len) land 0xffff
 
 let valid_packet (p : Packet.t) off len =
-  valid (Bytes.to_string p.Packet.buf) (p.Packet.head + off) len
+  ones_sum_bytes p.Packet.buf (p.Packet.head + off) len = 0xffff

@@ -3,11 +3,19 @@
     Total on closed-under-model terms: unassigned variables take the
     model's defaults (zero / false). Used both by the concrete packet
     interpreter indirectly and by the solver to double-check every model
-    it emits against the original (pre-bit-blasting) constraints. *)
+    it emits against the original (pre-bit-blasting) constraints.
+
+    The [~strict:true] variants instead raise {!Unbound} on the first
+    variable the model does not assign — the witness-replay machinery
+    uses them to distinguish "this condition is definitely true/false
+    under the observed concrete state" from "this condition mentions
+    state we cannot observe" (havocked loop bytes, unperformed reads). *)
 
 module B = Vdp_bitvec.Bitvec
 
-let eval (m : Model.t) (t : Term.t) : Value.t =
+exception Unbound of string
+
+let eval_gen ~strict (m : Model.t) (t : Term.t) : Value.t =
   let memo : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
   let rec go (t : Term.t) : Value.t =
     match Hashtbl.find_opt memo t.id with
@@ -22,14 +30,22 @@ let eval (m : Model.t) (t : Term.t) : Value.t =
     match t.node with
     | True -> Vbool true
     | False -> Vbool false
-    | Bool_var s -> Vbool (Model.bool m s)
+    | Bool_var s ->
+      Vbool
+        (match Model.bool_opt m s with
+        | Some b -> b
+        | None -> if strict then raise (Unbound s) else false)
     | Not a -> Vbool (not (bool_of a))
     | And ts -> Vbool (Array.for_all bool_of ts)
     | Or ts -> Vbool (Array.exists bool_of ts)
     | Eq (a, b) -> Vbool (Value.equal (go a) (go b))
     | Ite (c, a, b) -> if bool_of c then go a else go b
     | Bv_const v -> Vbv v
-    | Bv_var (s, w) -> Vbv (Model.bv m s ~width:w)
+    | Bv_var (s, w) ->
+      Vbv
+        (match Model.bv_opt m s with
+        | Some v -> v
+        | None -> if strict then raise (Unbound s) else B.zero w)
     | Bv_bin (op, a, b) ->
       let va = bv_of a and vb = bv_of b in
       Vbv
@@ -64,5 +80,10 @@ let eval (m : Model.t) (t : Term.t) : Value.t =
   in
   go t
 
+let eval m t = eval_gen ~strict:false m t
 let eval_bool m t = Value.to_bool (eval m t)
 let eval_bv m t = Value.to_bv (eval m t)
+
+let eval_strict m t = eval_gen ~strict:true m t
+let eval_bool_strict m t = Value.to_bool (eval_strict m t)
+let eval_bv_strict m t = Value.to_bv (eval_strict m t)

@@ -96,28 +96,47 @@ let atom_bound (t : Term.t) ~(positive : bool) : bound option =
     | _ -> None)
   | _ -> None
 
+(* A term whose unsigned range is a single value — syntactic constants
+   plus anything the range analysis pins down (masked constants etc.). *)
+let point_value t =
+  match range t with Some (lo, hi) when lo = hi -> Some lo | _ -> None
+
 let refute (t : Term.t) : bool =
   if Term.is_false t then true
   else
-    let atoms =
+    (* Conjunctions nest once composite conditions are re-conjoined
+       (e.g. [And [And [...]; atom]]); flatten them all. *)
+    let atoms = ref [] in
+    let rec collect (t : Term.t) =
       match t.node with
-      | Term.And ts -> Array.to_list ts
-      | _ -> [ t ]
+      | Term.And ts -> Array.iter collect ts
+      | _ -> atoms := t :: !atoms
     in
-    let tbl : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+    collect t;
+    let tbl : (int, Term.t * int * int) Hashtbl.t = Hashtbl.create 16 in
     let contradiction = ref false in
+    let interval_of (subject : Term.t) =
+      match Hashtbl.find_opt tbl subject.id with
+      | Some (_, lo, hi) -> (lo, hi)
+      | None -> (
+        match range subject with Some r -> r | None -> (0, max_int))
+    in
     let note { subject; lo; hi } =
-      let lo0, hi0 =
-        match Hashtbl.find_opt tbl subject.id with
-        | Some r -> r
-        | None -> (
-          match range subject with
-          | Some r -> r
-          | None -> (0, max_int))
-      in
+      let lo0, hi0 = interval_of subject in
       let lo' = max lo lo0 and hi' = min hi hi0 in
       if lo' > hi' then contradiction := true
-      else Hashtbl.replace tbl subject.id (lo', hi')
+      else Hashtbl.replace tbl subject.id (subject, lo', hi')
+    in
+    (* Negated equalities cannot be intervals, but they shave the ends
+       off one: collect them and apply after the bounds have settled. *)
+    let diseqs : (Term.t * int) list ref = ref [] in
+    let note_diseq (a : Term.t) (b : Term.t) =
+      if Term.width a <= max_tracked_width then
+        match (point_value a, point_value b) with
+        | Some n, None -> diseqs := (b, n) :: !diseqs
+        | None, Some n -> diseqs := (a, n) :: !diseqs
+        | Some n, Some m -> if n = m then contradiction := true
+        | None, None -> ()
     in
     List.iter
       (fun atom ->
@@ -126,8 +145,34 @@ let refute (t : Term.t) : bool =
           | Term.Not inner -> (inner, false)
           | _ -> (atom, true)
         in
-        match atom_bound atom ~positive with
-        | Some b -> note b
-        | None -> ())
-      atoms;
+        match (atom.Term.node, positive) with
+        | Term.Eq (a, b), false when not (Sort.is_bool (Term.sort a)) ->
+          note_diseq a b
+        | _ -> (
+          match atom_bound atom ~positive with
+          | Some b -> note b
+          | None -> ()))
+      !atoms;
+    (* Each diseq can tighten an interval endpoint, which can arm other
+       diseqs on the same subject; iterate to a fixpoint (each pass that
+       changes anything shrinks some interval, so this terminates). *)
+    let changed = ref true in
+    while !changed && not !contradiction do
+      changed := false;
+      List.iter
+        (fun ((subject : Term.t), n) ->
+          if not !contradiction then begin
+            let lo, hi = interval_of subject in
+            if lo = n && hi = n then contradiction := true
+            else if lo = n then begin
+              Hashtbl.replace tbl subject.id (subject, lo + 1, hi);
+              changed := true
+            end
+            else if hi = n then begin
+              Hashtbl.replace tbl subject.id (subject, lo, hi - 1);
+              changed := true
+            end
+          end)
+        !diseqs
+    done;
     !contradiction

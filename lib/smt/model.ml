@@ -22,6 +22,7 @@ let bv m name ~width =
   | None -> B.zero width
 
 let bv_opt m name = Hashtbl.find_opt m.bvs name
+let bool_opt m name = Hashtbl.find_opt m.bools name
 let bool m name = Option.value ~default:false (Hashtbl.find_opt m.bools name)
 
 let of_list pairs =

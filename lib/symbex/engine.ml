@@ -124,6 +124,24 @@ let pp_outcome fmt = function
   | O_drop -> Format.pp_print_string fmt "drop"
   | O_crash c -> Format.fprintf fmt "crash(%s)" (crash_to_string c)
 
+(* The interpreter's out-of-bounds messages carry concrete offsets the
+   symbolic engine cannot know, so O_oob matches on kind only. *)
+let crash_matches (c : crash) (rc : Ir.crash) =
+  match (c, rc) with
+  | C_assert m, Ir.Assert_failed m' -> m = m'
+  | C_oob _, Ir.Out_of_bounds _ -> true
+  | C_headroom, Ir.Headroom_exhausted -> true
+  | C_div0, Ir.Div_by_zero -> true
+  | C_abort m, Ir.Aborted m' -> m = m'
+  | _ -> false
+
+let outcome_matches (o : outcome) (ro : Ir.outcome) =
+  match (o, ro) with
+  | O_emit p, Ir.Emitted p' -> p = p'
+  | O_drop, Ir.Dropped -> true
+  | O_crash c, Ir.Crashed rc -> crash_matches c rc
+  | _ -> false
+
 (* Cheap feasibility filter: constant folding + interval refutation.
    Sound to keep infeasible paths (Step 2 re-checks with the solver). *)
 let plausible (st : S.t) extra =

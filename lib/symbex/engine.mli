@@ -79,6 +79,14 @@ val explore : ?config:config -> Vdp_ir.Types.program -> result
 val crash_to_string : crash -> string
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val crash_matches : crash -> Vdp_ir.Types.crash -> bool
+(** Does a concrete interpreter crash correspond to the symbolically
+    predicted one? Out-of-bounds crashes match on kind only (the
+    interpreter's message embeds concrete offsets). *)
+
+val outcome_matches : outcome -> Vdp_ir.Types.outcome -> bool
+(** Lift {!crash_matches} to whole outcomes. *)
+
 val havoc_var : epoch:int -> int -> T.t
 (** The havoc variable for absolute buffer offset [abs] of epoch
     [epoch] — matches the names {!Sstate.byte_abs} generates. *)

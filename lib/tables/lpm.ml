@@ -65,7 +65,12 @@ let fold f t init =
       | None -> acc
     in
     match node.one with
-    | Some c -> go c (prefix lor (1 lsl (31 - len))) (len + 1) acc
+    | Some c ->
+      (* [add] caps prefixes at /32, so a node at depth 32 never has
+         children — but keep the shift amount defined rather than rely
+         on it ([1 lsl -1] is unspecified in OCaml). *)
+      assert (len < 32);
+      go c (prefix lor (1 lsl (31 - len))) (len + 1) acc
     | None -> acc
   in
   go t.root 0 0 init

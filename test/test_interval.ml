@@ -35,6 +35,41 @@ let unit_tests =
         (* not (x < 5) && x < 3  is unsat *)
         check_bool "refuted" true
           (I.refute (T.and_ [ T.not_ (T.ult x (c 5)); T.ult x (c 3) ])));
+    Alcotest.test_case "negated equality against a point range" `Quick
+      (fun () ->
+        (* x = 7 && x <> 7 *)
+        check_bool "point diseq" true
+          (I.refute (T.and_ [ T.eq x (c 7); T.not_ (T.eq x (c 7)) ]));
+        (* x <> 7 alone is satisfiable *)
+        check_bool "diseq alone sat" false
+          (I.refute (T.not_ (T.eq x (c 7))));
+        (* x & 0 = 0, so (x & 0) <> 0 is unsat — point via range, not
+           via a syntactic constant. *)
+        check_bool "range point diseq" true
+          (I.refute (T.not_ (T.eq (T.band x (c 0)) (c 0)))));
+    Alcotest.test_case "diseqs shave interval endpoints" `Quick (fun () ->
+        (* x <= 1 && x <> 0 && x <> 1 *)
+        check_bool "endpoints shaved to empty" true
+          (I.refute
+             (T.and_
+                [
+                  T.ule x (c 1);
+                  T.not_ (T.eq x (c 0));
+                  T.not_ (T.eq x (c 1));
+                ]));
+        (* x <= 2 && x <> 0 && x <> 2 still admits x = 1 *)
+        check_bool "hole in the middle not refutable" false
+          (I.refute
+             (T.and_
+                [
+                  T.ule x (c 2);
+                  T.not_ (T.eq x (c 0));
+                  T.not_ (T.eq x (c 2));
+                ])));
+    Alcotest.test_case "recurses into nested conjunctions" `Quick (fun () ->
+        let inner = T.and_ [ T.ult x (c 5); T.bool_var "b" ] in
+        check_bool "nested" true
+          (I.refute (T.and_ [ inner; T.ult (c 10) x ])));
   ]
 
 (* Soundness: anything interval-refuted is really unsat (checked by
@@ -73,4 +108,51 @@ let soundness =
       end
       else true)
 
-let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest [ soundness ]
+(* Brute-force differential vs Eval at widths up to 12: every refuted
+   constraint must have no satisfying assignment at all. Atoms include
+   negated equalities and the conjunction is randomly nested. *)
+let soundness_wide =
+  let gen =
+    QCheck.Gen.(
+      let* w = int_range 4 12 in
+      let base = T.var "x" w in
+      let atom =
+        let* op = int_bound 3 in
+        let* k = int_bound ((1 lsl w) - 1) in
+        let* flip = bool in
+        let kt = T.bv_int ~width:w k in
+        let t =
+          match op with
+          | 0 -> T.ult base kt
+          | 1 -> T.ule kt base
+          | 2 -> T.eq base kt
+          | _ -> T.eq (T.band base kt) kt
+        in
+        return (if flip then T.not_ t else t)
+      in
+      let* n = int_range 1 6 in
+      let* atoms = list_repeat n atom in
+      let* split = int_bound n in
+      (* Random nesting: an inner conjunction inside the outer one. *)
+      let outer, inner = List.filteri (fun i _ -> i < split) atoms,
+                         List.filteri (fun i _ -> i >= split) atoms in
+      let parts = if inner = [] then outer else T.and_ inner :: outer in
+      return (w, T.and_ parts))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"interval refutation sound vs brute-force Eval (w <= 12)"
+    (QCheck.make ~print:(fun (w, t) -> Printf.sprintf "w=%d %s" w (T.to_string t)) gen)
+    (fun (w, t) ->
+      if I.refute t then begin
+        let sat = ref false in
+        for v = 0 to (1 lsl w) - 1 do
+          let m = Model.of_list [ ("x", B.of_int ~width:w v) ] in
+          if Eval.eval_bool m t then sat := true
+        done;
+        not !sat
+      end
+      else true)
+
+let tests =
+  unit_tests
+  @ List.map QCheck_alcotest.to_alcotest [ soundness; soundness_wide ]

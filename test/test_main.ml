@@ -16,4 +16,5 @@ let () =
       ("config", Test_config.tests);
       ("incremental", Test_incremental.tests);
       ("parallel", Test_parallel.tests);
+      ("replay", Test_replay.tests);
     ]

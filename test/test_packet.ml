@@ -122,6 +122,32 @@ let unit_tests =
           pkts);
   ]
 
+let alloc_tests =
+  [
+    Alcotest.test_case "packet checksum paths do not allocate" `Quick
+      (fun () ->
+        (* over_packet/valid_packet must read the buffer in place; the
+           old Bytes.to_string copy cost ~270 words per call, so 1000
+           calls would show up as hundreds of thousands of minor words.
+           Allow a small slack for the Gc counter boxing itself. *)
+        let p =
+          P.create
+            (Ipv4.header ~tos:0 ~total_len:20 ~ident:0 ~ttl:64
+               ~proto:Ipv4.proto_udp ~src:0x0a000001 ~dst:0x0a000002 ())
+        in
+        ignore (Cks.over_packet p 0 20);
+        ignore (Cks.valid_packet p 0 20);
+        let before = Gc.minor_words () in
+        for _ = 1 to 1_000 do
+          ignore (Cks.over_packet p 0 20);
+          ignore (Cks.valid_packet p 0 20)
+        done;
+        let delta = Gc.minor_words () -. before in
+        Alcotest.(check bool)
+          (Printf.sprintf "allocation-free (%.0f minor words)" delta)
+          true (delta < 256.));
+  ]
+
 let props =
   [
     QCheck.Test.make ~count:200 ~name:"checksummed headers verify"
@@ -141,4 +167,5 @@ let props =
         P.get_u8 p 0 = Char.code s.[0]);
   ]
 
-let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest props
+let tests =
+  unit_tests @ alloc_tests @ List.map QCheck_alcotest.to_alcotest props

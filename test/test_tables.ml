@@ -163,4 +163,84 @@ let props =
         && Ft.count t = Hashtbl.length model);
   ]
 
-let tests = unit_tests @ List.map QCheck_alcotest.to_alcotest props
+(* Randomized route tables that force the boundary prefix lengths: a
+   /0 default, a batch of /32 host routes (trie depth 32, where the
+   fold's shift arithmetic must stay defined), and random middles; then
+   trie vs DIR agreement on a full sweep of a subspace plus random
+   addresses across the whole space. *)
+let boundary_tests =
+  [
+    Alcotest.test_case "random tables with /0 and /32, trie vs DIR" `Slow
+      (fun () ->
+        let st = Random.State.make [| 1337 |] in
+        for _ = 1 to 5 do
+          let base = Random.State.int st 0x3fffffff * 4 in
+          let routes =
+            (0, 0, 99)  (* default route *)
+            :: List.init 16 (fun i ->
+                   (* host routes clustered near [base] *)
+                   ((base + i) land 0xffffffff, 32, 100 + i))
+            @ List.init 40 (fun i ->
+                  let len = 1 + Random.State.int st 31 in
+                  let p = Random.State.int st 0x3fffffff * 4 in
+                  let mask =
+                    if len = 0 then 0
+                    else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+                  in
+                  (p land mask, len, 200 + i))
+          in
+          (* Last insert wins in the trie; make the table unambiguous by
+             keeping the first route per (prefix, len). *)
+          let seen = Hashtbl.create 64 in
+          let routes =
+            List.filter
+              (fun (p, l, _) ->
+                let mask =
+                  if l = 0 then 0
+                  else 0xffffffff lxor ((1 lsl (32 - l)) - 1)
+                in
+                let key = (p land mask, l) in
+                if Hashtbl.mem seen key then false
+                else (Hashtbl.add seen key (); true))
+              routes
+          in
+          let trie = Lpm.of_list routes in
+          let dir = Dir.of_routes routes in
+          (* Full-address sweep of the 2^12 subspace around the host
+             routes: exercises /32 matches and their neighbours. *)
+          let sweep_base = base land 0xfffff000 in
+          for off = 0 to 4095 do
+            let addr = sweep_base lor off in
+            opt_int "sweep agree" (Lpm.lookup trie addr) (Dir.lookup dir addr)
+          done;
+          (* And random probes across the whole space. *)
+          for _ = 1 to 2000 do
+            let addr = Random.State.int st 0x3fffffff * 4 in
+            opt_int "random agree" (Lpm.lookup trie addr)
+              (Dir.lookup dir addr)
+          done
+        done);
+    Alcotest.test_case "fold roundtrips /0 and /32 prefixes" `Quick
+      (fun () ->
+        let routes =
+          [ (0, 0, 1); (ip "255.255.255.255", 32, 2); (ip "10.0.0.1", 32, 3);
+            (ip "10.0.0.0", 8, 4); (ip "128.0.0.0", 1, 5) ]
+        in
+        let trie = Lpm.of_list routes in
+        let collected =
+          Lpm.fold (fun ~prefix ~len v acc -> (prefix, len, v) :: acc) trie []
+        in
+        check_int "all routes folded" (List.length routes)
+          (List.length collected);
+        List.iter
+          (fun r ->
+            check_bool "route present" true (List.mem r collected))
+          routes;
+        (* The deepest fold path reaches len = 32 exactly once per host
+           route and must reproduce the full prefix bits. *)
+        check_bool "/32 all-ones prefix intact" true
+          (List.mem (ip "255.255.255.255", 32, 2) collected));
+  ]
+
+let tests =
+  unit_tests @ boundary_tests @ List.map QCheck_alcotest.to_alcotest props
