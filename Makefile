@@ -21,6 +21,7 @@ ci: build
 	dune exec bin/vdpverify.exe -- replay examples/firewall.click
 	dune exec bench/main.exe -- e1
 	dune exec bench/main.exe -- e8
+	VDP_E9_SMOKE=1 dune exec bench/main.exe -- e9
 
 clean:
 	dune clean

@@ -97,6 +97,34 @@ end
 let json_fields : (string * Json.t) list ref = ref []
 let record k v = json_fields := !json_fields @ [ (k, v) ]
 
+(* Every BENCH file carries the same top-level shape:
+   {"experiment", "wall_seconds", <experiment fields>, "solver_stats"}.
+   The solver counters are reset by the driver at the start of each
+   experiment, so the object is a per-experiment delta. *)
+let solver_stats_json () =
+  let s = Solver.stats in
+  Json.Obj
+    [
+      ("queries", Json.Int s.Solver.calls);
+      ("sat", Json.Int s.Solver.sat_answers);
+      ("unsat", Json.Int s.Solver.unsat_answers);
+      ("unknown", Json.Int s.Solver.unknown_answers);
+      ("folded", Json.Int s.Solver.folded);
+      ("cache_hits", Json.Int s.Solver.cache_hits);
+      ("cache_misses", Json.Int s.Solver.cache_misses);
+      ("interval_refuted", Json.Int s.Solver.interval_refutations);
+      ("eliminated_conjuncts", Json.Int s.Solver.eliminated_conjuncts);
+      ("sliced_conjuncts", Json.Int s.Solver.sliced_conjuncts);
+      ("sat_vars", Json.Int s.Solver.sat_vars);
+      ("sat_clauses", Json.Int s.Solver.sat_clauses);
+      ("gate_hits", Json.Int s.Solver.gate_hits);
+      ("gate_misses", Json.Int s.Solver.gate_misses);
+      ("learned_deleted", Json.Int s.Solver.learned_deleted);
+      ("preprocess_seconds", Json.Float s.Solver.preprocess_time);
+      ("blast_seconds", Json.Float s.Solver.blast_time);
+      ("sat_seconds", Json.Float s.Solver.sat_time);
+    ]
+
 (* Experiments that double as checks (E8) flip this on failure; the
    driver still writes their JSON before exiting nonzero. *)
 let exit_code = ref 0
@@ -239,7 +267,15 @@ let e1 () =
   let r, dt = time (fun () -> V.check_crash_freedom reordered) in
   Format.printf "%-46s %8d %8d %8.2f %a@." "reordered (ttl before opts)"
     r.V.stats.V.suspects r.V.stats.V.suspect_checks dt
-    Vdp_verif.Report.pp_verdict r.V.verdict
+    Vdp_verif.Report.pp_verdict r.V.verdict;
+  record "reordered"
+    (Json.Obj
+       [
+         ("suspects", Json.Int r.V.stats.V.suspects);
+         ("checks", Json.Int r.V.stats.V.suspect_checks);
+         ("seconds", Json.Float dt);
+         ("verdict", Json.Str (verdict_str r.V.verdict));
+       ])
 
 (* {1 E2 — instruction bound of the longest pipeline} *)
 
@@ -501,6 +537,7 @@ let e6 () =
   in
   Printf.printf "%-24s %10s %10s %8s %s\n" "pipeline" "flat(s)" "incr(s)"
     "speedup" "agreement";
+  let rows = ref [] in
   List.iter
     (fun (name, pl) ->
       (* Step 1 is shared work — prewarm it so only Step 2 is timed. *)
@@ -525,14 +562,16 @@ let e6 () =
       Printf.printf "%-24s %10.3f %10.3f %7.1fx %s\n%!" name flat_t incr_t
         (flat_t /. incr_t)
         (if agree then "verdicts+bounds identical" else "MISMATCH");
-      record name
-        (Json.Obj
-           [
-             ("flat_seconds", Json.Float flat_t);
-             ("incremental_seconds", Json.Float incr_t);
-             ("speedup", Json.Float (flat_t /. incr_t));
-             ("agree", Json.Bool agree);
-           ]);
+      rows :=
+        Json.Obj
+          [
+            ("pipeline", Json.Str name);
+            ("flat_seconds", Json.Float flat_t);
+            ("incremental_seconds", Json.Float incr_t);
+            ("speedup", Json.Float (flat_t /. incr_t));
+            ("agree", Json.Bool agree);
+          ]
+        :: !rows;
       if not agree then begin
         Format.printf "  flat:  %a bound=%s exact=%b@."
           Vdp_verif.Report.pp_verdict fc.V.verdict
@@ -544,6 +583,7 @@ let e6 () =
           ib.V.exact
       end)
     pipelines;
+  record "pipelines" (Json.List (List.rev !rows));
   Printf.printf
     "\nthe incremental context keeps the blasted term DAG and learned\n\
      clauses across sibling composite paths; the cache removes queries\n\
@@ -770,6 +810,283 @@ let e8 () =
        violation reproduced concretely (confirm rate %d/%d).\n"
       !total_confirmed !total_replays
 
+(* {1 E9 — word-level preprocessing + gate-level sharing} *)
+
+(* Pull one float field back out of a previously written BENCH json;
+   enough of a parser for the regression check against the committed
+   baseline (flat file, field written by [Json.write]). *)
+let json_float_field path key =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let pat = Printf.sprintf "\"%s\":" key in
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length s then None
+      else if String.sub s i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length s
+        && (match s.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub s start (!stop - start))
+  end
+
+let e9 () =
+  section
+    "E9: word-level preprocessing + gate-level sharing on Step-2-shaped \
+     queries";
+  let smoke = Sys.getenv_opt "VDP_E9_SMOKE" <> None in
+  let iters = if smoke then 10 else 50 in
+  (* Each query is shaped like a composite Step-2 condition: definition
+     equalities that substitution should eliminate, a conjunct over a
+     variable nothing else mentions, an all-defaults-satisfiable
+     independent component, and subtraction/comparison cones over the
+     same operands so the bit-blaster's structural gate cache gets
+     exercised within a single blast. *)
+  let v16 n = T.var ("e9" ^ n) 16 in
+  let c16 = T.bv_int ~width:16 in
+  let c8 = T.bv_int ~width:8 in
+  let a = v16 "a" and b = v16 "b" and c = v16 "c" and d = v16 "d" in
+  let k = v16 "k" and k2 = v16 "k2" in
+  let x = v16 "x" and y = v16 "y" in
+  let p0 = T.var "e9p0" 8 in
+  let queries =
+    [
+      ( "def-elim + shared sub/cmp cone",
+        [
+          T.eq k (T.sub a b);
+          T.ule k c;
+          T.ule b a;
+          T.ult c (c16 0x4000);
+          (* nonzero anchor: keeps the component off the all-defaults
+             slice so both modes actually reach the SAT core *)
+          T.ule (c16 1) b;
+        ] );
+      ( "byte pin + constant propagation",
+        [
+          T.eq p0 (c8 0x45);
+          T.eq k (T.add (T.zext 16 p0) c);
+          T.ult k (c16 0x8000);
+          T.eq k2 (T.sub a b);
+          T.ule k2 c;
+          T.ule b a;
+          T.ule (c16 1) b;
+        ] );
+      ( "unconstrained-variable drop",
+        [
+          T.ule d (c16 100);
+          T.eq k (T.sub a b);
+          T.ult k c;
+          T.ule b a;
+          T.ule (c16 1) b;
+        ] );
+      ( "ite under negated condition",
+        [
+          T.eq k (T.ite (T.ult a b) c d);
+          T.eq k2 (T.ite (T.ule b a) d c);
+          T.ule k k2;
+          T.eq (T.band k (c16 0xff)) (c16 0x2a);
+        ] );
+      ( "transitivity refuted by SAT",
+        [
+          T.eq k (T.add a b);
+          T.ule k c;
+          T.ule c d;
+          T.ult d k;
+          T.eq k2 (T.sub a b);
+          T.ule k2 (c16 0xfff0);
+          T.ule b a;
+        ] );
+      ( "independent sliceable component",
+        [
+          T.ule x y;
+          T.eq k (T.sub a b);
+          T.ule k c;
+          T.ule b a;
+          T.ule (c16 1) b;
+        ] );
+    ]
+  in
+  let run_query ~preprocess terms =
+    Solver.reset_stats ();
+    let verdict = ref "?" in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      verdict :=
+        match Solver.check ~preprocess terms with
+        | Solver.Sat _ -> "sat"
+        | Solver.Unsat -> "unsat"
+        | Solver.Unknown -> "unknown"
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+    let s = Solver.stats in
+    ( !verdict,
+      dt,
+      s.Solver.sat_vars / iters,
+      s.Solver.sat_clauses / iters,
+      s.Solver.gate_hits / iters,
+      (s.Solver.gate_hits + s.Solver.gate_misses) / iters,
+      (s.Solver.eliminated_conjuncts + s.Solver.sliced_conjuncts) / iters )
+  in
+  Printf.printf "%-34s %7s  %12s %14s %10s %9s\n" "query" "verdict"
+    "vars off/on" "clauses off/on" "gate hits" "elim";
+  let rows = ref [] in
+  let queries_ok = ref true in
+  let total_hits = ref 0 in
+  let total_on = ref 0. and total_off = ref 0. in
+  List.iter
+    (fun (name, terms) ->
+      let voff, toff, vars_off, cls_off, _, _, _ =
+        run_query ~preprocess:false terms
+      in
+      let von, ton, vars_on, cls_on, hits_on, gates_on, elim_on =
+        run_query ~preprocess:true terms
+      in
+      total_on := !total_on +. ton;
+      total_off := !total_off +. toff;
+      total_hits := !total_hits + hits_on;
+      let agree = voff = von in
+      let reduced = vars_on < vars_off && cls_on < cls_off in
+      if not (agree && reduced) then queries_ok := false;
+      Printf.printf "%-34s %7s  %5d/%-6d %7d/%-6d %6d/%-3d %6d %s\n%!" name
+        von vars_off vars_on cls_off cls_on hits_on gates_on elim_on
+        ((if agree then "" else " VERDICT-MISMATCH")
+        ^ if reduced then "" else " NOT-REDUCED");
+      rows :=
+        Json.Obj
+          [
+            ("query", Json.Str name);
+            ("verdict", Json.Str von);
+            ("agree", Json.Bool agree);
+            ("sat_vars_off", Json.Int vars_off);
+            ("sat_vars_on", Json.Int vars_on);
+            ("sat_clauses_off", Json.Int cls_off);
+            ("sat_clauses_on", Json.Int cls_on);
+            ("gate_hits_on", Json.Int hits_on);
+            ("gates_on", Json.Int gates_on);
+            ("conjuncts_eliminated", Json.Int elim_on);
+            ("seconds_off", Json.Float toff);
+            ("seconds_on", Json.Float ton);
+            ("strictly_reduced", Json.Bool reduced);
+          ]
+        :: !rows)
+    queries;
+  record "queries" (Json.List (List.rev !rows));
+  record "iterations" (Json.Int iters);
+  record "per_query_seconds_preprocessed" (Json.Float !total_on);
+  record "per_query_seconds_raw" (Json.Float !total_off);
+  let gate_sharing_ok = !total_hits > 0 in
+  Printf.printf
+    "\npreprocessed totals: %.4fs vs %.4fs raw per pass; %d gate-cache \
+     hits\n"
+    !total_on !total_off !total_hits;
+  if not !queries_ok then begin
+    Printf.printf
+      "E9 FAILED: a query disagreed or was not strictly reduced\n";
+    exit_code := 1
+  end;
+  if not gate_sharing_ok then begin
+    Printf.printf "E9 FAILED: the structural gate cache never hit\n";
+    exit_code := 1
+  end;
+  (* End-to-end differential: both example pipelines, full crash +
+     bound verification, preprocessing on vs off, must agree. *)
+  let examples =
+    List.filter Sys.file_exists
+      [ "examples/router.click"; "examples/firewall.click" ]
+  in
+  let erows = ref [] in
+  List.iter
+    (fun path ->
+      let pl = Click.Config.parse_file path in
+      (* The instruction bound enumerates far more composite paths than
+         crash freedom; on the segment-heavy firewall (IPFilter) that
+         search is impractical in either mode, so the bound leg of the
+         differential runs on the router only. *)
+      let with_bound = path = "examples/router.click" in
+      let run ~preprocess =
+        Summaries.clear ();
+        Solver.Cache.clear Solver.shared_cache;
+        let config = { V.default_config with V.preprocess } in
+        let crash = V.check_crash_freedom ~config pl in
+        let bound =
+          if with_bound then Some (V.instruction_bound ~config pl) else None
+        in
+        (crash, bound)
+      in
+      let (c1, b1), dt1 = time (fun () -> run ~preprocess:true) in
+      let (c0, b0), dt0 = time (fun () -> run ~preprocess:false) in
+      let bound r = Option.bind r (fun (b : V.bound_report) -> b.V.bound) in
+      let agree =
+        same_verdict c1.V.verdict c0.V.verdict
+        && bound b1 = bound b0
+        && Option.map (fun (b : V.bound_report) -> b.V.exact) b1
+           = Option.map (fun (b : V.bound_report) -> b.V.exact) b0
+      in
+      Printf.printf
+        "%-28s preprocess on %.2fs / off %.2fs: %s (%s, bound %s)\n%!" path
+        dt1 dt0
+        (if agree then "identical verdicts+bounds" else "MISMATCH")
+        (verdict_str c1.V.verdict)
+        (match bound b1 with
+        | Some b -> string_of_int b
+        | None -> if with_bound then "none" else "skipped");
+      if not agree then begin
+        Printf.printf "E9 FAILED: end-to-end divergence on %s\n" path;
+        exit_code := 1
+      end;
+      erows :=
+        Json.Obj
+          [
+            ("pipeline", Json.Str path);
+            ("agree", Json.Bool agree);
+            ("crash_verdict", Json.Str (verdict_str c1.V.verdict));
+            ( "bound",
+              match bound b1 with
+              | Some b -> Json.Int b
+              | None -> Json.Str (if with_bound then "none" else "skipped") );
+            ("seconds_preprocessed", Json.Float dt1);
+            ("seconds_raw", Json.Float dt0);
+          ]
+        :: !erows)
+    examples;
+  record "end_to_end" (Json.List (List.rev !erows));
+  (* Regression check against the committed baseline: the per-pass
+     query total is iteration-normalized, so smoke runs compare on the
+     same scale as full runs. *)
+  (match
+     json_float_field "BENCH_e9_baseline.json" "per_query_seconds_preprocessed"
+   with
+  | Some baseline ->
+    let floor = max baseline 0.001 in
+    let regressed = !total_on > 2. *. floor in
+    record "baseline_seconds" (Json.Float baseline);
+    record "regressed" (Json.Bool regressed);
+    if regressed then begin
+      Printf.printf
+        "E9 FAILED: query total %.4fs is more than 2x the baseline %.4fs\n"
+        !total_on baseline;
+      exit_code := 1
+    end
+    else
+      Printf.printf "no regression vs baseline (%.4fs <= 2x %.4fs)\n"
+        !total_on floor
+  | None ->
+    Printf.printf "no BENCH_e9_baseline.json; skipping regression check\n")
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -853,7 +1170,7 @@ let micro () =
 (* {1 Driver} *)
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
-            "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8;
+            "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8; "e9", e9;
             "micro", micro ]
 
 let () =
@@ -868,13 +1185,15 @@ let () =
       match List.assoc_opt name all with
       | Some f ->
         json_fields := [];
+        Solver.reset_stats ();
         let (), dt = time f in
         let out = Printf.sprintf "BENCH_%s.json" name in
         Json.write out
           (Json.Obj
              (("experiment", Json.Str name)
              :: ("wall_seconds", Json.Float dt)
-             :: !json_fields));
+             :: !json_fields
+             @ [ ("solver_stats", solver_stats_json ()) ]));
         Printf.printf "[wrote %s]\n%!" out
       | None ->
         Printf.eprintf "unknown experiment %s (have: %s)\n" name

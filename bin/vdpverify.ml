@@ -41,6 +41,14 @@ let no_cache_arg =
   let doc = "Disable the Step-2 query cache." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let no_preprocess_arg =
+  let doc =
+    "Disable word-level solver preprocessing (equality substitution, \
+     constant propagation, cone slicing) and bit-blast every Step-2 query \
+     as written."
+  in
+  Arg.(value & flag & info [ "no-preprocess" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Number of domains for Step-1 symbolic execution and Step-2 suspect-path \
@@ -67,19 +75,21 @@ let load path =
     Error (Printf.sprintf "bad configuration for %s: %s" cls m)
   | Invalid_argument m -> Error m
 
-let verifier_config max_len ~no_incremental ~no_cache ~no_replay ~jobs =
+let verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
+    ~no_replay ~jobs =
   {
     V.default_config with
     V.engine = { E.default_config with E.max_len };
     V.incremental = not no_incremental;
     V.cache = not no_cache;
+    V.preprocess = not no_preprocess;
     V.replay = not no_replay;
     V.jobs = max 1 jobs;
   }
 
 let crash_cmd =
   let run config_path max_len monolithic budget no_incremental no_cache
-      no_replay jobs =
+      no_preprocess no_replay jobs =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -110,10 +120,13 @@ let crash_cmd =
       end
       else begin
         let config =
-          verifier_config max_len ~no_incremental ~no_cache ~no_replay ~jobs
+          verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
+            ~no_replay ~jobs
         in
+        Vdp_smt.Solver.reset_stats ();
         let r = V.check_crash_freedom ~config pl in
-        Format.printf "%a@." Vdp_verif.Report.pp_report r;
+        Format.printf "%a  %a@.@." Vdp_verif.Report.pp_report r
+          Vdp_verif.Report.pp_solver_stats Vdp_smt.Solver.stats;
         match r.V.verdict with V.Proved -> 0 | _ -> 2
       end
   in
@@ -122,20 +135,25 @@ let crash_cmd =
     (Cmd.info "crash" ~doc)
     Term.(
       const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg
-      $ no_incremental_arg $ no_cache_arg $ no_replay_arg $ jobs_arg)
+      $ no_incremental_arg $ no_cache_arg $ no_preprocess_arg $ no_replay_arg
+      $ jobs_arg)
 
 let bound_cmd =
-  let run config_path max_len no_incremental no_cache no_replay jobs =
+  let run config_path max_len no_incremental no_cache no_preprocess no_replay
+      jobs =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
       1
     | Ok pl ->
       let config =
-        verifier_config max_len ~no_incremental ~no_cache ~no_replay ~jobs
+        verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
+          ~no_replay ~jobs
       in
+      Vdp_smt.Solver.reset_stats ();
       let r = V.instruction_bound ~config pl in
-      Format.printf "%a@." Vdp_verif.Report.pp_bound_report r;
+      Format.printf "%a  %a@.@." Vdp_verif.Report.pp_bound_report r
+        Vdp_verif.Report.pp_solver_stats Vdp_smt.Solver.stats;
       (match r.V.b_verdict with V.Proved -> 0 | _ -> 2)
   in
   let doc = "Prove a per-packet instruction bound and find the witness." in
@@ -143,7 +161,7 @@ let bound_cmd =
     (Cmd.info "bound" ~doc)
     Term.(
       const run $ config_arg $ max_len_arg $ no_incremental_arg
-      $ no_cache_arg $ no_replay_arg $ jobs_arg)
+      $ no_cache_arg $ no_preprocess_arg $ no_replay_arg $ jobs_arg)
 
 let replay_cmd =
   let run config_path max_len count seed jobs =

@@ -43,9 +43,21 @@ type t = {
   trail : string list;
       (** position tags of the segments applied so far, newest first —
           the node path this composite state predicts *)
+  headroom : int;
+      (** remaining headroom budget in bytes: the configured headroom
+          plus the accumulated net head deltas of the applied segments.
+          Every element's own symbex assumes it starts with the {e full}
+          configured headroom, so composition must re-check each
+          segment's worst push excursion against this remaining budget. *)
+  headroom_short : bool;
+      (** true iff the segment just applied dips below the remaining
+          budget ([headroom + min_delta < 0]): the concrete runtime
+          would crash with [Headroom_exhausted] on this path even
+          though the element-local summary did not. *)
 }
 
-let initial ?(assume = []) () =
+let initial ?(assume = []) ?(headroom = Vdp_packet.Packet.default_headroom) ()
+    =
   {
     background = Input 0;
     overrides = Hashtbl.create 16;
@@ -58,6 +70,8 @@ let initial ?(assume = []) () =
     summarized = false;
     kv_trace = [];
     trail = [];
+    headroom;
+    headroom_short = false;
   }
 
 (** Byte [j] of the current window as a term over original inputs. *)
@@ -80,30 +94,38 @@ let meta_term st m =
 
 let cond_term st = T.and_ st.cond
 
-(** Rewrite one of the segment's terms into pipeline-input terms:
-    rename internals with the position tag, then substitute packet
-    variables with the current composite state. *)
-let import st ~tag term =
-  let renamed =
-    T.rename_vars
-      (fun n -> if S.is_internal n then "!" ^ tag ^ n else n)
-      term
+(** Rewrite one of the segment's terms into pipeline-input terms, in a
+    single walk: internal variables (key/value reads, havoc values) are
+    renamed with the position tag so different positions cannot
+    collide, and packet variables are substituted with the current
+    composite state. Partial application [import st ~tag] fixes one
+    memo table, so a batch of terms from the same segment — its
+    constraints, writes, length and state events, which share most of
+    their structure — is rewritten in one DAG traversal total. *)
+let import st ~tag =
+  let memo = Hashtbl.create 256 in
+  let lookup n (sort : Vdp_smt.Sort.t) =
+    if S.is_internal n then
+      let n' = "!" ^ tag ^ n in
+      Some
+        (match sort with
+        | Vdp_smt.Sort.Bool -> T.bool_var n'
+        | Vdp_smt.Sort.Bv w -> T.var n' w)
+    else if n = S.len_var then Some st.len
+    else if String.length n > 3 && String.sub n 0 2 = "p[" then begin
+      match int_of_string_opt (String.sub n 2 (String.length n - 3)) with
+      | Some j -> Some (byte st j)
+      | None -> None
+    end
+    else
+      match
+        List.find_opt (fun m -> S.meta_var m = n)
+          [ Ir.Port; Ir.Color; Ir.W0; Ir.W1 ]
+      with
+      | Some m -> Some (meta_term st m)
+      | None -> None
   in
-  T.substitute
-    (fun n ->
-      if n = S.len_var then Some st.len
-      else if String.length n > 3 && String.sub n 0 2 = "p[" then begin
-        match int_of_string_opt (String.sub n 2 (String.length n - 3)) with
-        | Some j -> Some (byte st j)
-        | None -> None
-      end
-      else
-        match
-          List.find_opt (fun m -> S.meta_var m = n) [ Ir.Port; Ir.Color; Ir.W0; Ir.W1 ]
-        with
-        | Some m -> Some (meta_term st m)
-        | None -> None)
-    renamed
+  fun term -> T.substitute_vars ~memo lookup term
 
 (** Apply a segment summary at pipeline position [tag]; returns the
     state {e after} the segment (meaningful when its outcome emits). *)
@@ -168,6 +190,8 @@ let apply st ~tag (seg : Engine.segment) =
     summarized = st.summarized || seg.Engine.summarized;
     kv_trace = List.rev_append kv_new st.kv_trace;
     trail = tag :: st.trail;
+    headroom = st.headroom + delta;
+    headroom_short = st.headroom + out.Engine.min_delta < 0;
   }
 
 (** Cheap infeasibility filter for pruning during path enumeration. *)

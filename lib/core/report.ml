@@ -60,6 +60,23 @@ let pp_stats fmt (s : Verifier.stats) =
     s.Verifier.refuted s.Verifier.unknown_checks s.Verifier.step1_time
     s.Verifier.step2_time
 
+(** Per-phase solver activity (typically a delta over one verification
+    run — callers reset or snapshot {!Vdp_smt.Solver.stats}). *)
+let pp_solver_stats fmt (s : Vdp_smt.Solver.stats) =
+  let module SS = Vdp_smt.Solver in
+  let gate_total = s.SS.gate_hits + s.SS.gate_misses in
+  Format.fprintf fmt
+    "solver: %d queries (%d folded by preprocessing, %d cache hits, %d \
+     interval-refuted); %d conjuncts eliminated, %d sliced; %d SAT vars, %d \
+     clauses, gate cache %d/%d hits (%.0f%%), %d learned clauses reduced; \
+     preprocess %.2fs, bit-blast %.2fs, SAT %.2fs"
+    s.SS.calls s.SS.folded s.SS.cache_hits s.SS.interval_refutations
+    s.SS.eliminated_conjuncts s.SS.sliced_conjuncts s.SS.sat_vars
+    s.SS.sat_clauses s.SS.gate_hits gate_total
+    (if gate_total = 0 then 0.
+     else 100. *. float_of_int s.SS.gate_hits /. float_of_int gate_total)
+    s.SS.learned_deleted s.SS.preprocess_time s.SS.blast_time s.SS.sat_time
+
 let pp_report fmt (r : Verifier.report) =
   Format.fprintf fmt "@[<v>crash freedom: %a@,  %a@," pp_verdict
     r.Verifier.verdict pp_stats r.Verifier.stats;

@@ -63,6 +63,10 @@ type config = {
   incremental : bool;
       (** carry one push/pop solver context down the Step-2 DFS *)
   cache : bool;  (** memoize Step-2 queries in [Solver.shared_cache] *)
+  preprocess : bool;
+      (** word-level solver preprocessing (equality substitution,
+          constant propagation, slicing) before bit-blasting each
+          Step-2 query *)
   jobs : int;
       (** domains used for Step-1 symbex and Step-2 suspect checking;
           1 (the default) keeps everything on the calling domain.
@@ -81,6 +85,7 @@ let default_config =
     max_composite_paths = 2_000_000;
     incremental = true;
     cache = true;
+    preprocess = true;
     jobs = 1;
   }
 
@@ -151,16 +156,18 @@ let now () = Unix.gettimeofday ()
    the constraints of [st.cond]; flat mode re-solves [st.cond] from
    scratch at every suspect. *)
 type step2 =
-  | Flat of Solver.Cache.t option
+  | Flat of Solver.Cache.t option * bool  (* (cache, preprocess) *)
   | Incremental of Solver.ctx
 
 let make_step2 cfg =
   let cache = if cfg.cache then Some Solver.shared_cache else None in
-  if cfg.incremental then Incremental (Solver.create_ctx ?cache ())
-  else Flat cache
+  if cfg.incremental then
+    Incremental (Solver.create_ctx ?cache ~preprocess:cfg.preprocess ())
+  else Flat (cache, cfg.preprocess)
 
 let make_flat cfg =
-  Flat (if cfg.cache then Some Solver.shared_cache else None)
+  Flat
+    ((if cfg.cache then Some Solver.shared_cache else None), cfg.preprocess)
 
 (* Enter the composite state [st]: in incremental mode, open a scope
    holding exactly the constraints [apply] just added. *)
@@ -187,7 +194,8 @@ let seed step2 (st : Compose.t) =
    the context currently holds [st.cond]. *)
 let check_state step2 ~max_conflicts (st : Compose.t) extra =
   match step2 with
-  | Flat cache -> Solver.check ?cache ~max_conflicts (extra @ st.Compose.cond)
+  | Flat (cache, preprocess) ->
+    Solver.check ?cache ~preprocess ~max_conflicts (extra @ st.Compose.cond)
   | Incremental c ->
     if extra = [] then Solver.check_ctx ~max_conflicts c
     else begin
@@ -198,24 +206,36 @@ let check_state step2 ~max_conflicts (st : Compose.t) extra =
       r
     end
 
-(* Prefer short witnesses: retry the query under increasingly loose
-   length bounds and keep the first satisfiable one. Purely cosmetic —
-   soundness only needs the final unbounded attempt. *)
+(* Decide feasibility with a single unbounded query; only a satisfiable
+   answer pays extra for witness shrinking (retry under increasingly
+   loose length bounds and keep the first satisfiable one — purely
+   cosmetic, soundness only needs the unbounded answer). Checks on a
+   crash-free pipeline are overwhelmingly unsat, so the common case
+   costs exactly one query instead of one per bound. *)
 let check_small step2 ~max_conflicts (st : Compose.t) =
-  let rec try_bounds = function
-    | [] -> check_state step2 ~max_conflicts st []
-    | b :: rest -> (
-      let bound = T.ule (T.var S.len_var 16) (T.bv_int ~width:16 b) in
-      match check_state step2 ~max_conflicts st [ bound ] with
-      | Solver.Sat m -> Solver.Sat m
-      | Solver.Unsat | Solver.Unknown -> try_bounds rest)
-  in
-  try_bounds [ 16; 64; 128 ]
+  match check_state step2 ~max_conflicts st [] with
+  | (Solver.Unsat | Solver.Unknown) as r -> r
+  | Solver.Sat m ->
+    let rec shrink = function
+      | [] -> Solver.Sat m
+      | b :: rest -> (
+        let bound = T.ule (T.var S.len_var 16) (T.bv_int ~width:16 b) in
+        match check_state step2 ~max_conflicts st [ bound ] with
+        | Solver.Sat m' -> Solver.Sat m'
+        | Solver.Unsat | Solver.Unknown -> shrink rest)
+    in
+    shrink [ 16; 64; 128 ]
 
 let base_assumptions cfg =
   T.ule (T.var S.len_var 16)
     (T.bv_int ~width:16 cfg.engine.Engine.max_len)
   :: cfg.assume
+
+(* The composite state at the pipeline entry, carrying the configured
+   headroom as the remaining push budget. *)
+let initial_state cfg =
+  Compose.initial ~assume:(base_assumptions cfg)
+    ~headroom:cfg.engine.Engine.headroom ()
 
 let step1 ?pool cfg (pl : Click.Pipeline.t) stats =
   let t0 = now () in
@@ -339,10 +359,17 @@ let merge_counters into (from : stats) =
 (* The DFS body shared by the sequential pass and each parallel
    subtree worker. [check_one] expects the context to hold the state
    {e before} the crash segment's constraints; it enters/leaves the
-   crash state itself. *)
+   crash state itself. [?outcome] overrides the segment's own outcome
+   in the reported violation — used when composition discovers that a
+   segment dips below the {e remaining} headroom budget even though the
+   element-local summary (which assumed a full budget) did not crash.
+   [danger.(i)] marks nodes where some segment's worst push excursion
+   can exceed the least budget any path carries in (a static
+   over-approximation): only there do drop/emit segments need the
+   per-path dip check, so headroom-safe pipelines pay nothing. *)
 let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
-    has_suspect ~(stats : stats) ~violations ~unknowns step2 =
-  let check_one node (seg : Engine.segment) (st' : Compose.t) =
+    has_suspect danger ~(stats : stats) ~violations ~unknowns step2 =
+  let check_one ?outcome node (seg : Engine.segment) (st' : Compose.t) =
     stats.suspect_checks <- stats.suspect_checks + 1;
     enter step2 st';
     (match check_small step2 ~max_conflicts:cfg.solver_budget st' with
@@ -362,7 +389,8 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
         {
           node;
           element = nodes.(node).Click.Pipeline.element.Click.Element.name;
-          outcome = seg.Engine.outcome;
+          outcome =
+            (match outcome with Some o -> o | None -> seg.Engine.outcome);
           cond = st'.Compose.cond;
           witness = Some witness;
           confirmed;
@@ -381,20 +409,40 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
       (fun (seg : Engine.segment) ->
         match seg.Engine.outcome with
         | Engine.O_crash _ ->
-          check_one node seg (Compose.apply st ~tag seg)
-        | Engine.O_drop -> ()
+          let st' = Compose.apply st ~tag seg in
+          let outcome =
+            if st'.Compose.headroom_short then
+              Some (Engine.O_crash Engine.C_headroom)
+            else None
+          in
+          check_one ?outcome node seg st'
+        | Engine.O_drop ->
+          if danger.(node) then begin
+            let st' = Compose.apply st ~tag seg in
+            if st'.Compose.headroom_short then
+              check_one ~outcome:(Engine.O_crash Engine.C_headroom) node seg
+                st'
+          end
         | Engine.O_emit p -> (
-          match nodes.(node).Click.Pipeline.outputs.(p) with
-          | None -> ()
-          | Some (dst, _) ->
-            if has_suspect.(dst) then begin
-              let st' = Compose.apply st ~tag seg in
-              if Compose.plausible st' then begin
+          let dst =
+            match nodes.(node).Click.Pipeline.outputs.(p) with
+            | Some (dst, _) when has_suspect.(dst) -> Some dst
+            | _ -> None
+          in
+          if danger.(node) || dst <> None then
+            let st' = Compose.apply st ~tag seg in
+            if st'.Compose.headroom_short then
+              (* The runtime crashes mid-segment; nothing runs behind
+                 this element on such a path, so do not descend. *)
+              check_one ~outcome:(Engine.O_crash Engine.C_headroom) node seg
+                st'
+            else
+              match dst with
+              | Some dst when Compose.plausible st' ->
                 enter step2 st';
                 visit dst st';
                 leave step2
-              end
-            end))
+              | _ -> ()))
       summaries.(node).Summaries.result.Engine.segments
   in
   (check_one, visit)
@@ -403,25 +451,51 @@ type crash_check = {
   cc_node : int;
   cc_seg : Engine.segment;
   cc_st : Compose.t;  (* state after applying the crash segment *)
+  cc_outcome : Engine.outcome option;
+      (* overriding outcome (composition-level headroom crash) *)
 }
 
-(* One visit step of the crash DFS, as frontier expansion. *)
-let crash_expand nodes (summaries : Summaries.entry array) has_suspect node st
-    =
+(* One visit step of the crash DFS, as frontier expansion — mirrors the
+   segment loop of [crash_visitor.visit], including the headroom dip
+   checks gated on [danger]. *)
+let crash_expand nodes (summaries : Summaries.entry array) has_suspect danger
+    node st =
   let tag = Printf.sprintf "n%d" node in
+  let hr_check seg st' =
+    [ W_check
+        { cc_node = node; cc_seg = seg; cc_st = st';
+          cc_outcome = Some (Engine.O_crash Engine.C_headroom) } ]
+  in
   List.concat_map
     (fun (seg : Engine.segment) ->
       match seg.Engine.outcome with
       | Engine.O_crash _ ->
-        [ W_check { cc_node = node; cc_seg = seg;
-                    cc_st = Compose.apply st ~tag seg } ]
-      | Engine.O_drop -> []
-      | Engine.O_emit p -> (
-        match nodes.(node).Click.Pipeline.outputs.(p) with
-        | Some (dst, _) when has_suspect.(dst) ->
+        let st' = Compose.apply st ~tag seg in
+        if st'.Compose.headroom_short then hr_check seg st'
+        else
+          [ W_check
+              { cc_node = node; cc_seg = seg; cc_st = st';
+                cc_outcome = None } ]
+      | Engine.O_drop ->
+        if danger.(node) then begin
           let st' = Compose.apply st ~tag seg in
-          if Compose.plausible st' then [ W_subtree (dst, st') ] else []
-        | _ -> []))
+          if st'.Compose.headroom_short then hr_check seg st' else []
+        end
+        else []
+      | Engine.O_emit p -> (
+        let dst =
+          match nodes.(node).Click.Pipeline.outputs.(p) with
+          | Some (dst, _) when has_suspect.(dst) -> Some dst
+          | _ -> None
+        in
+        if danger.(node) || dst <> None then
+          let st' = Compose.apply st ~tag seg in
+          if st'.Compose.headroom_short then hr_check seg st'
+          else
+            match dst with
+            | Some dst when Compose.plausible st' -> [ W_subtree (dst, st') ]
+            | _ -> []
+        else []))
     summaries.(node).Summaries.result.Engine.segments
 
 let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
@@ -430,15 +504,45 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
   let stats = fresh_stats () in
   let summaries = step1 ?pool config pl stats in
   let nodes = Click.Pipeline.nodes pl in
-  (* Which nodes can still lead to a suspect segment? *)
   let n = Array.length nodes in
-  let has_suspect = Array.make n false in
+  let entry = Click.Pipeline.entry pl in
   let order = Click.Pipeline.topological_order pl in
+  (* Static headroom budgeting: [budget.(i)] is the least remaining
+     headroom any path can carry into node [i] (forward min-plus pass
+     over the segments' net head deltas). A node is a [danger] node iff
+     some segment's worst push excursion can dip below that least
+     budget — an over-approximation of the per-path [headroom_short]
+     check, so pipelines that provably stay within budget skip the
+     dynamic dip checks entirely. *)
+  let budget = Array.make n max_int in
+  budget.(entry) <- config.engine.Engine.headroom;
+  let danger = Array.make n false in
+  List.iter
+    (fun i ->
+      if budget.(i) < max_int then
+        List.iter
+          (fun (seg : Engine.segment) ->
+            let out = seg.Engine.out_state in
+            if budget.(i) + out.Engine.min_delta < 0 then danger.(i) <- true;
+            match seg.Engine.outcome with
+            | Engine.O_emit p -> (
+              match nodes.(i).Click.Pipeline.outputs.(p) with
+              | Some (dst, _) ->
+                let b = budget.(i) + out.Engine.head_delta in
+                if b < budget.(dst) then budget.(dst) <- b
+              | None -> ())
+            | Engine.O_drop | Engine.O_crash _ -> ())
+          summaries.(i).Summaries.result.Engine.segments)
+    order;
+  (* Which nodes can still lead to a suspect segment (their own crash
+     segments, a possible headroom dip, or either further down)? *)
+  let has_suspect = Array.make n false in
   List.iter
     (fun i ->
       let own =
-        List.exists Summaries.is_suspect_crash
-          summaries.(i).Summaries.result.Engine.segments
+        danger.(i)
+        || List.exists Summaries.is_suspect_crash
+             summaries.(i).Summaries.result.Engine.segments
       in
       let below =
         Array.exists
@@ -458,14 +562,13 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
                e.Summaries.result.Engine.segments))
     summaries;
   let t0 = now () in
-  let entry = Click.Pipeline.entry pl in
   let violations, unknowns, budget_hit =
     match pool with
     | Some pool when Pool.size pool > 1 && has_suspect.(entry) -> (
-      let st0 = Compose.initial ~assume:(base_assumptions config) () in
+      let st0 = initial_state config in
       match
         build_frontier
-          ~expand:(crash_expand nodes summaries has_suspect)
+          ~expand:(crash_expand nodes summaries has_suspect danger)
           ~target:(frontier_target config.jobs)
           ~max_visits:config.max_composite_paths
           [ W_subtree (entry, st0) ]
@@ -478,19 +581,19 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
           let violations = ref [] and unknowns = ref 0 in
           let budget_hit =
             match item with
-            | W_check { cc_node; cc_seg; cc_st } ->
+            | W_check { cc_node; cc_seg; cc_st; cc_outcome } ->
               let step2 = make_flat config in
               let check_one, _ =
-                crash_visitor config pl nodes summaries has_suspect
+                crash_visitor config pl nodes summaries has_suspect danger
                   ~stats:local ~violations ~unknowns step2
               in
-              check_one cc_node cc_seg cc_st;
+              check_one ?outcome:cc_outcome cc_node cc_seg cc_st;
               false
             | W_subtree (node, st) -> (
               let step2 = make_step2 config in
               seed step2 st;
               let _, visit =
-                crash_visitor config pl nodes summaries has_suspect
+                crash_visitor config pl nodes summaries has_suspect danger
                   ~stats:local ~violations ~unknowns step2
               in
               try visit node st; false with Path_budget -> true)
@@ -508,13 +611,13 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
       let violations = ref [] in
       let unknowns = ref 0 in
       let _, visit =
-        crash_visitor config pl nodes summaries has_suspect ~stats
+        crash_visitor config pl nodes summaries has_suspect danger ~stats
           ~violations ~unknowns step2
       in
       let budget_hit =
         try
           if has_suspect.(entry) then begin
-            let st0 = Compose.initial ~assume:(base_assumptions config) () in
+            let st0 = initial_state config in
             enter step2 st0;
             visit entry st0;
             leave step2
@@ -657,7 +760,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
   let budget_hit =
     match pool with
     | Some pool when Pool.size pool > 1 -> (
-      let st0 = Compose.initial ~assume:(base_assumptions config) () in
+      let st0 = initial_state config in
       match
         build_frontier
           ~expand:(bound_expand nodes summaries)
@@ -743,7 +846,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
           ~completed step2
       in
       try
-        let st0 = Compose.initial ~assume:(base_assumptions config) () in
+        let st0 = initial_state config in
         enter step2 st0;
         visit (Click.Pipeline.entry pl) st0;
         leave step2;
@@ -959,7 +1062,7 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
   let violations, unknowns, budget_hit =
     match pool with
     | Some pool when Pool.size pool > 1 -> (
-      let st0 = Compose.initial ~assume:(base_assumptions config) () in
+      let st0 = initial_state config in
       match
         build_frontier
           ~expand:(reach_expand pl nodes summaries ~bad)
@@ -1010,7 +1113,7 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
       in
       let budget_hit =
         try
-          let st0 = Compose.initial ~assume:(base_assumptions config) () in
+          let st0 = initial_state config in
           enter step2 st0;
           visit (Click.Pipeline.entry pl) st0;
           leave step2;

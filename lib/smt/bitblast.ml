@@ -14,6 +14,17 @@ type ctx = {
   bits_cache : (int, int array) Hashtbl.t;  (* term id -> bit literals *)
   bv_vars : (string, int array) Hashtbl.t;
   bool_vars : (string, int) Hashtbl.t;
+  (* AIG-style structural hashing: two-input gates are cached on
+     normalized literal pairs, so each distinct gate is encoded exactly
+     once per context. Word-level circuits (adders, comparators,
+     multiplexers) are built from these gates, so shared cones — e.g.
+     [a - b] and [a >= b], which both expand to the adder of
+     [a + ~b + 1] — dedup automatically. *)
+  and_cache : (int * int, int) Hashtbl.t;
+  xor_cache : (int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable gate_hits : int;
+  mutable gate_misses : int;
 }
 
 let create () =
@@ -28,7 +39,15 @@ let create () =
     bits_cache = Hashtbl.create 256;
     bv_vars = Hashtbl.create 64;
     bool_vars = Hashtbl.create 16;
+    and_cache = Hashtbl.create 256;
+    xor_cache = Hashtbl.create 256;
+    ite_cache = Hashtbl.create 64;
+    gate_hits = 0;
+    gate_misses = 0;
   }
+
+let gate_hits ctx = ctx.gate_hits
+let gate_misses ctx = ctx.gate_misses
 
 let sat ctx = ctx.sat
 let false_lit ctx = Sat.lit_not ctx.true_lit
@@ -45,11 +64,19 @@ let g_and ctx a b =
   else if a = b then a
   else if a = Sat.lit_not b then const_lit ctx false
   else begin
-    let o = fresh ctx in
-    clause ctx [ Sat.lit_not o; a ];
-    clause ctx [ Sat.lit_not o; b ];
-    clause ctx [ o; Sat.lit_not a; Sat.lit_not b ];
-    o
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt ctx.and_cache key with
+    | Some o ->
+      ctx.gate_hits <- ctx.gate_hits + 1;
+      o
+    | None ->
+      ctx.gate_misses <- ctx.gate_misses + 1;
+      let o = fresh ctx in
+      clause ctx [ Sat.lit_not o; a ];
+      clause ctx [ Sat.lit_not o; b ];
+      clause ctx [ o; Sat.lit_not a; Sat.lit_not b ];
+      Hashtbl.add ctx.and_cache key o;
+      o
   end
 
 let g_or ctx a b = Sat.lit_not (g_and ctx (Sat.lit_not a) (Sat.lit_not b))
@@ -62,29 +89,56 @@ let g_xor ctx a b =
   else if a = b then const_lit ctx false
   else if a = Sat.lit_not b then ctx.true_lit
   else begin
-    let o = fresh ctx in
-    clause ctx [ Sat.lit_not o; a; b ];
-    clause ctx [ Sat.lit_not o; Sat.lit_not a; Sat.lit_not b ];
-    clause ctx [ o; Sat.lit_not a; b ];
-    clause ctx [ o; a; Sat.lit_not b ];
-    o
+    (* xor(a, b) = xor(|a|, |b|) negated once per negative input, so
+       the gate is cached on the sign-stripped pair and the output
+       sign is recomputed — xor(a, b), xor(~a, b), xor(a, ~b) and
+       xor(~a, ~b) all share one encoding. *)
+    let sign = (a land 1) lxor (b land 1) in
+    let va = a land lnot 1 and vb = b land lnot 1 in
+    let key = if va < vb then (va, vb) else (vb, va) in
+    let o =
+      match Hashtbl.find_opt ctx.xor_cache key with
+      | Some o ->
+        ctx.gate_hits <- ctx.gate_hits + 1;
+        o
+      | None ->
+        ctx.gate_misses <- ctx.gate_misses + 1;
+        let va, vb = key in
+        let o = fresh ctx in
+        clause ctx [ Sat.lit_not o; va; vb ];
+        clause ctx [ Sat.lit_not o; Sat.lit_not va; Sat.lit_not vb ];
+        clause ctx [ o; Sat.lit_not va; vb ];
+        clause ctx [ o; va; Sat.lit_not vb ];
+        Hashtbl.add ctx.xor_cache key o;
+        o
+    in
+    o lxor sign
   end
 
 let g_iff ctx a b = Sat.lit_not (g_xor ctx a b)
 
-let g_ite ctx c t e =
+let rec g_ite ctx c t e =
   if c = ctx.true_lit then t
   else if c = const_lit ctx false then e
   else if t = e then t
+  else if c land 1 = 1 then g_ite ctx (Sat.lit_not c) e t
   else begin
-    let o = fresh ctx in
-    clause ctx [ Sat.lit_not c; Sat.lit_not t; o ];
-    clause ctx [ Sat.lit_not c; t; Sat.lit_not o ];
-    clause ctx [ c; Sat.lit_not e; o ];
-    clause ctx [ c; e; Sat.lit_not o ];
-    clause ctx [ Sat.lit_not t; Sat.lit_not e; o ];
-    clause ctx [ t; e; Sat.lit_not o ];
-    o
+    let key = (c, t, e) in
+    match Hashtbl.find_opt ctx.ite_cache key with
+    | Some o ->
+      ctx.gate_hits <- ctx.gate_hits + 1;
+      o
+    | None ->
+      ctx.gate_misses <- ctx.gate_misses + 1;
+      let o = fresh ctx in
+      clause ctx [ Sat.lit_not c; Sat.lit_not t; o ];
+      clause ctx [ Sat.lit_not c; t; Sat.lit_not o ];
+      clause ctx [ c; Sat.lit_not e; o ];
+      clause ctx [ c; e; Sat.lit_not o ];
+      clause ctx [ Sat.lit_not t; Sat.lit_not e; o ];
+      clause ctx [ t; e; Sat.lit_not o ];
+      Hashtbl.add ctx.ite_cache key o;
+      o
   end
 
 let g_and_list ctx = List.fold_left (g_and ctx) (const_lit ctx true)

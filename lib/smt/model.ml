@@ -13,6 +13,8 @@ type t = {
 
 let create () = { bvs = Hashtbl.create 16; bools = Hashtbl.create 16 }
 
+let copy m = { bvs = Hashtbl.copy m.bvs; bools = Hashtbl.copy m.bools }
+
 let set_bv m name v = Hashtbl.replace m.bvs name v
 let set_bool m name b = Hashtbl.replace m.bools name b
 

@@ -35,6 +35,10 @@ type clause = {
   lits : int array;
   learned : bool;
   mutable activity : float;
+  mutable deleted : bool;
+      (* reduced learned clauses (and root-satisfied clauses removed by
+         [simplify]) are only marked here; watch lists drop them lazily
+         the next time propagation visits them *)
 }
 
 type t = {
@@ -60,12 +64,25 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable seen : bool array;       (* scratch for analyze *)
+  (* Learned-clause database reduction (MiniSat-style): when the
+     conflicts since the last reduction exceed a budget that grows by
+     [reduce_grow] per reduction, the lowest-activity half of the live
+     learned clauses is deleted. Locked clauses (the reason of a
+     currently-assigned variable) and binary clauses are always kept. *)
+  mutable nlearned : int;          (* live learned clauses *)
+  mutable nproblem : int;          (* live problem (non-learned) clauses *)
+  mutable learned_deleted : int;   (* cumulative *)
+  mutable reductions : int;
+  reduce_interval : int;           (* first reduction budget *)
+  reduce_grow : int;
+  mutable last_reduce : int;       (* [conflicts] at the last reduction *)
 }
 
-let create () =
+let create ?(reduce_interval = 2000) () =
   {
     nvars = 0;
-    clauses = Array.make 64 { lits = [||]; learned = false; activity = 0. };
+    clauses =
+      Array.make 64 { lits = [||]; learned = false; activity = 0.; deleted = false };
     nclauses = 0;
     watches = Array.init 64 (fun _ -> Vec.create ());
     assigns = Array.make 32 (-1);
@@ -86,6 +103,13 @@ let create () =
     decisions = 0;
     propagations = 0;
     seen = Array.make 32 false;
+    nlearned = 0;
+    nproblem = 0;
+    learned_deleted = 0;
+    reductions = 0;
+    reduce_interval;
+    reduce_grow = 300;
+    last_reduce = 0;
   }
 
 let num_vars s = s.nvars
@@ -93,6 +117,10 @@ let num_clauses s = s.nclauses
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+let num_learned s = s.nlearned
+let num_problem_clauses s = s.nproblem
+let num_learned_deleted s = s.learned_deleted
+let num_reductions s = s.reductions
 
 let grow_array arr n default =
   let len = Array.length arr in
@@ -215,6 +243,18 @@ let var_bump s v =
 
 let var_decay s = s.var_inc <- s.var_inc /. 0.95
 
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    for cid = 0 to s.nclauses - 1 do
+      let c = s.clauses.(cid) in
+      if c.learned then c.activity <- c.activity *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
 (* {1 Clauses} *)
 
 let attach_clause s cid =
@@ -228,13 +268,17 @@ let add_clause_internal s lits learned =
   let cid = s.nclauses in
   if cid = Array.length s.clauses then begin
     let arr =
-      Array.make (2 * cid) { lits = [||]; learned = false; activity = 0. }
+      Array.make (2 * cid)
+        { lits = [||]; learned = false; activity = 0.; deleted = false }
     in
     Array.blit s.clauses 0 arr 0 cid;
     s.clauses <- arr
   end;
-  s.clauses.(cid) <- { lits; learned; activity = 0. };
+  let activity = if learned then s.cla_inc else 0. in
+  s.clauses.(cid) <- { lits; learned; activity; deleted = false };
   s.nclauses <- cid + 1;
+  if learned then s.nlearned <- s.nlearned + 1
+  else s.nproblem <- s.nproblem + 1;
   attach_clause s cid;
   cid
 
@@ -290,6 +334,8 @@ let propagate s =
       let cid = Vec.get ws !i in
       incr i;
       let c = s.clauses.(cid) in
+      if c.deleted then ()  (* lazily drop the watch *)
+      else begin
       let false_lit = lit_not l in
       (* Normalise so the false literal is at position 1. *)
       if c.lits.(0) = false_lit then begin
@@ -332,10 +378,45 @@ let propagate s =
           else enqueue s c.lits.(0) cid
         end
       end
+      end
     done;
     Vec.shrink ws !kept
   done;
   !conflict
+
+(* {1 Learned-clause database reduction} *)
+
+(* A clause is locked while it is the reason of an assigned variable:
+   conflict analysis may dereference it, so it must survive reduction.
+   Propagation keeps the propagated literal at position 0 for as long
+   as the clause remains a reason. *)
+let locked s cid =
+  let c = s.clauses.(cid) in
+  Array.length c.lits > 0
+  &&
+  let v = lit_var c.lits.(0) in
+  s.assigns.(v) <> -1 && s.reasons.(v) = cid
+
+let reduce_db s =
+  let cands = ref [] in
+  for cid = 0 to s.nclauses - 1 do
+    let c = s.clauses.(cid) in
+    if c.learned && (not c.deleted) && Array.length c.lits > 2
+       && not (locked s cid)
+    then cands := cid :: !cands
+  done;
+  let arr = Array.of_list !cands in
+  Array.sort
+    (fun a b -> Float.compare s.clauses.(a).activity s.clauses.(b).activity)
+    arr;
+  for i = 0 to (Array.length arr / 2) - 1 do
+    let c = s.clauses.(arr.(i)) in
+    c.deleted <- true;
+    s.nlearned <- s.nlearned - 1;
+    s.learned_deleted <- s.learned_deleted + 1
+  done;
+  s.reductions <- s.reductions + 1;
+  s.last_reduce <- s.conflicts
 
 (* {1 Conflict analysis (first UIP)} *)
 
@@ -349,6 +430,7 @@ let analyze s conflict_cid =
   let continue = ref true in
   while !continue do
     let c = s.clauses.(!cid) in
+    if c.learned then cla_bump s c;
     let start = if !p = -1 then 0 else 1 in
     for j = start to Array.length c.lits - 1 do
       let q = c.lits.(j) in
@@ -432,6 +514,12 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
               enqueue s l lid
             | [] -> status := Some Unsat);
             var_decay s;
+            cla_decay s;
+            if
+              s.conflicts - s.last_reduce
+              >= s.reduce_interval + (s.reduce_grow * s.reductions)
+              && s.nlearned > 100
+            then reduce_db s;
             if s.conflicts - conflicts_at_start >= max_conflicts then
               status := Some Unknown
             else if !local_conflicts >= restart_budget then restart := true
@@ -480,3 +568,29 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
   end
 
 let value s v = s.assigns.(v) = 1
+
+(* Drop clauses satisfied by the level-0 assignment. Used by the
+   incremental solver front end after retiring scope selectors: every
+   clause guarded by a retired selector is satisfied at level 0 and can
+   be removed wholesale instead of burdening every future propagation. *)
+let simplify s =
+  if not s.unsat then begin
+    backtrack s 0;
+    if propagate s >= 0 then s.unsat <- true
+    else
+      for cid = 0 to s.nclauses - 1 do
+        let c = s.clauses.(cid) in
+        if
+          (not c.deleted)
+          && (not (locked s cid))
+          && Array.exists (fun l -> lit_value s l = 1) c.lits
+        then begin
+          c.deleted <- true;
+          if c.learned then begin
+            s.nlearned <- s.nlearned - 1;
+            s.learned_deleted <- s.learned_deleted + 1
+          end
+          else s.nproblem <- s.nproblem - 1
+        end
+      done
+  end

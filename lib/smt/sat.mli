@@ -15,7 +15,12 @@
 
 type t
 
-val create : unit -> t
+val create : ?reduce_interval:int -> unit -> t
+(** [reduce_interval] is the conflict budget before the first
+    learned-clause database reduction (default 2000); each reduction
+    deletes the lowest-activity half of the live learned clauses
+    (locked and binary clauses are kept) and grows the budget. *)
+
 val new_var : t -> int
 val lit : int -> bool -> int
 (** [lit v positive]. *)
@@ -42,8 +47,28 @@ val value : t -> int -> bool
 (** Value of a variable in the satisfying assignment; only meaningful
     after [solve] returned [Sat]. Unassigned variables read as [false]. *)
 
+val simplify : t -> unit
+(** Remove (lazily) every clause satisfied by the level-0 assignment.
+    Cheap — one scan of the clause arena — and sound to call between
+    {!solve} calls; used to sweep out clauses guarded by permanently
+    negated selector literals. *)
+
 val num_vars : t -> int
 val num_clauses : t -> int
+(** Clause-arena entries ever created, including learned and deleted. *)
+
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
+
+val num_problem_clauses : t -> int
+(** Live non-learned clauses (units absorbed into the level-0 trail are
+    not counted). *)
+
+val num_learned : t -> int
+(** Live learned clauses. *)
+
+val num_learned_deleted : t -> int
+(** Cumulative learned clauses deleted by database reduction. *)
+
+val num_reductions : t -> int

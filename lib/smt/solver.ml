@@ -13,6 +13,16 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable eliminated_conjuncts : int;
+  mutable sliced_conjuncts : int;
+  mutable gate_hits : int;
+  mutable gate_misses : int;
+  mutable sat_vars : int;
+  mutable sat_clauses : int;
+  mutable learned_deleted : int;
+  mutable preprocess_time : float;
+  mutable blast_time : float;
+  mutable sat_time : float;
 }
 
 let fresh_stats () =
@@ -26,6 +36,16 @@ let fresh_stats () =
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
+    eliminated_conjuncts = 0;
+    sliced_conjuncts = 0;
+    gate_hits = 0;
+    gate_misses = 0;
+    sat_vars = 0;
+    sat_clauses = 0;
+    learned_deleted = 0;
+    preprocess_time = 0.;
+    blast_time = 0.;
+    sat_time = 0.;
   }
 
 (* Process-wide aggregate, kept for compatibility: every context also
@@ -53,17 +73,34 @@ let reset_stats_record s =
   s.folded <- 0;
   s.cache_hits <- 0;
   s.cache_misses <- 0;
-  s.cache_evictions <- 0
+  s.cache_evictions <- 0;
+  s.eliminated_conjuncts <- 0;
+  s.sliced_conjuncts <- 0;
+  s.gate_hits <- 0;
+  s.gate_misses <- 0;
+  s.sat_vars <- 0;
+  s.sat_clauses <- 0;
+  s.learned_deleted <- 0;
+  s.preprocess_time <- 0.;
+  s.blast_time <- 0.;
+  s.sat_time <- 0.
 
 let reset_stats () = reset_stats_record stats
 
+let now () = Unix.gettimeofday ()
+
 (* {1 Query cache}
 
-   Memoizes definite answers keyed on the hash-consed id of the full
-   conjunction. [Term.and_] flattens and deduplicates through a set, so
-   the same multiset of constraints always maps to the same id no
-   matter in which order a caller accumulated them. [Unknown] answers
-   are never cached: they depend on the conflict budget. *)
+   Memoizes definite answers keyed on the hash-consed id of the
+   *preprocessed* conjunction. [Term.and_] flattens and deduplicates
+   through a set, so the same multiset of constraints always maps to
+   the same id no matter in which order a caller accumulated them — and
+   preprocessing first means queries that differ only in eliminated
+   conjuncts (a definition spelled [x = 5] vs the constant 5 already
+   propagated) also collide. A cached [Sat] model satisfies the
+   preprocessed formula; each hit re-completes it against the hitting
+   query's own eliminated variables. [Unknown] answers are never
+   cached: they depend on the conflict budget. *)
 
 module Cache = struct
   type t = {
@@ -153,48 +190,102 @@ let cache_store sts cache id outcome =
       tally sts (fun s -> s.cache_evictions <- s.cache_evictions + evicted)
   | _ -> ()
 
-(* The shared front end: constant folding, cache lookup, interval
-   refutation, then [blast_and_solve] for the real work. *)
-let check_conj sts ?cache conj ~blast_and_solve =
+(* The shared front end: raw-level interval refutation, word-level
+   preprocessing, constant folding, cache lookup, a second interval
+   refutation on the residue, then [blast_and_solve] for the real
+   work. The raw refutation comes first because it is a shallow scan
+   and kills the large majority of Step-2 queries — preprocessing them
+   would be pure overhead. [blast_and_solve] receives the preprocessed
+   conjuncts and returns a model of the *preprocessed* formula; the
+   front end completes it with the eliminated variables' bindings and
+   re-validates against the original conjunction, so neither a
+   preprocessing nor a blasting bug can produce a bogus
+   counterexample. *)
+let check_conj sts ?cache ~preprocess terms ~blast_and_solve =
   tally sts (fun s -> s.calls <- s.calls + 1);
-  if Term.is_true conj then begin
+  let raw = Term.and_ terms in
+  if Term.is_false raw then begin
     tally sts (fun s -> s.folded <- s.folded + 1);
-    finish sts (Sat (Model.create ()))
+    finish sts Unsat
   end
-  else if Term.is_false conj then begin
+  else if Interval.refute raw then begin
+    tally sts (fun s -> s.interval_refutations <- s.interval_refutations + 1);
+    finish sts Unsat
+  end
+  else
+  let t0 = now () in
+  let pre = if preprocess then Preprocess.run terms else Preprocess.identity terms in
+  tally sts (fun s ->
+      s.preprocess_time <- s.preprocess_time +. (now () -. t0);
+      s.eliminated_conjuncts <- s.eliminated_conjuncts + pre.Preprocess.eliminated;
+      s.sliced_conjuncts <- s.sliced_conjuncts + pre.Preprocess.sliced);
+  let key = pre.Preprocess.key in
+  let accept m =
+    let m = Preprocess.complete pre m in
+    validate_model (Term.and_ terms) m;
+    Sat m
+  in
+  if Term.is_true key then begin
+    tally sts (fun s -> s.folded <- s.folded + 1);
+    finish sts (accept (Model.create ()))
+  end
+  else if Term.is_false key then begin
     tally sts (fun s -> s.folded <- s.folded + 1);
     finish sts Unsat
   end
   else
-    match Option.bind cache (fun c -> Cache.find c conj.Term.id) with
+    match Option.bind cache (fun c -> Cache.find c key.Term.id) with
     | Some o ->
       tally sts (fun s -> s.cache_hits <- s.cache_hits + 1);
-      finish sts o
+      finish sts (match o with Sat m -> accept m | o -> o)
     | None ->
       if cache <> None then
         tally sts (fun s -> s.cache_misses <- s.cache_misses + 1);
-      if Interval.refute conj then begin
+      if key != raw && Interval.refute key then begin
         tally sts (fun s ->
             s.interval_refutations <- s.interval_refutations + 1);
-        cache_store sts cache conj.Term.id Unsat;
+        cache_store sts cache key.Term.id Unsat;
         finish sts Unsat
       end
       else begin
-        let o = blast_and_solve conj in
-        cache_store sts cache conj.Term.id o;
-        finish sts o
+        let o = blast_and_solve pre in
+        cache_store sts cache key.Term.id o;
+        finish sts (match o with Sat m -> accept m | o -> o)
       end
 
-let check ?(max_conflicts = max_int) ?cache terms =
-  let conj = Term.and_ terms in
-  check_conj [ stats ] ?cache conj ~blast_and_solve:(fun conj ->
-      let ctx = Bitblast.create () in
-      Bitblast.assert_term ctx conj;
-      match Sat.solve ~max_conflicts (Bitblast.sat ctx) with
-      | Sat.Sat ->
-        let m = Bitblast.extract_model ctx in
-        validate_model conj m;
-        Sat m
+(* Charge blast/solve phase timings and CNF growth to [sts]. *)
+let instrumented sts bb ~blast ~solve =
+  let sat = Bitblast.sat bb in
+  let v0 = Sat.num_vars sat and c0 = Sat.num_problem_clauses sat in
+  let gh0 = Bitblast.gate_hits bb and gm0 = Bitblast.gate_misses bb in
+  let ld0 = Sat.num_learned_deleted sat in
+  let t0 = now () in
+  blast ();
+  let t1 = now () in
+  let r = solve () in
+  let t2 = now () in
+  tally sts (fun s ->
+      s.blast_time <- s.blast_time +. (t1 -. t0);
+      s.sat_time <- s.sat_time +. (t2 -. t1);
+      s.sat_vars <- s.sat_vars + (Sat.num_vars sat - v0);
+      s.sat_clauses <- s.sat_clauses + (Sat.num_problem_clauses sat - c0);
+      s.gate_hits <- s.gate_hits + (Bitblast.gate_hits bb - gh0);
+      s.gate_misses <- s.gate_misses + (Bitblast.gate_misses bb - gm0);
+      s.learned_deleted <-
+        s.learned_deleted + (Sat.num_learned_deleted sat - ld0));
+  r
+
+let check ?(max_conflicts = max_int) ?cache ?(preprocess = true) terms =
+  check_conj [ stats ] ?cache ~preprocess terms ~blast_and_solve:(fun pre ->
+      let bb = Bitblast.create () in
+      let r =
+        instrumented [ stats ] bb
+          ~blast:(fun () ->
+            List.iter (Bitblast.assert_term bb) pre.Preprocess.conjuncts)
+          ~solve:(fun () -> Sat.solve ~max_conflicts (Bitblast.sat bb))
+      in
+      match r with
+      | Sat.Sat -> Sat (Bitblast.extract_model bb)
       | Sat.Unsat -> Unsat
       | Sat.Unknown -> Unknown)
 
@@ -212,56 +303,57 @@ let is_unsat ?max_conflicts terms =
 
 (* {1 Incremental contexts}
 
-   A context keeps one bit-blaster (so the term DAG is encoded once no
-   matter how many checks see it) and a stack of scopes. Each scope
-   owns a fresh selector literal; asserting a term adds the guarded
-   clause [not selector \/ term]. Checking assumes the selectors of
-   all live scopes, so popped scopes stop constraining the search while
-   every learned clause — which can only mention selectors negatively —
-   remains valid and is retained. *)
+   A context keeps one bit-blaster (so the term DAG — and, with
+   structural hashing, every distinct gate — is encoded once no matter
+   how many checks see it) and a stack of scopes holding plain term
+   lists. Each check preprocesses the live conjunction, then asserts
+   the residual conjuncts under one fresh throwaway selector literal
+   and solves with that single assumption; afterwards the selector is
+   permanently negated, so the check's root clauses become satisfied at
+   level 0 and are periodically swept out by [Sat.simplify]. Learned
+   clauses, variable activities, gate encodings and the blasted term
+   DAG all persist across checks, which is what makes sibling composite
+   paths (sharing long constraint prefixes) cheap to check in
+   sequence — while each individual check only pays for its own
+   preprocessed (smaller) formula. *)
 
-type scope = {
-  selector : int;
-  mutable asserted : Term.t list;  (* newest first *)
-}
+type scope = { mutable asserted : Term.t list (* newest first *) }
 
 type ctx = {
   bb : Bitblast.ctx;
   mutable scopes : scope list;  (* innermost first; never empty *)
   cstats : stats;
   cache : Cache.t option;
+  preprocess : bool;
+  mutable checks : int;  (* solved (non-cached) checks, for simplify cadence *)
 }
 
-let new_scope bb = { selector = Bitblast.fresh bb; asserted = [] }
-
-let create_ctx ?cache () =
-  let bb = Bitblast.create () in
-  { bb; scopes = [ new_scope bb ]; cstats = fresh_stats (); cache }
+let create_ctx ?cache ?(preprocess = true) () =
+  {
+    bb = Bitblast.create ();
+    scopes = [ { asserted = [] } ];
+    cstats = fresh_stats ();
+    cache;
+    preprocess;
+    checks = 0;
+  }
 
 let ctx_stats ctx = ctx.cstats
 let depth ctx = List.length ctx.scopes - 1
 
-let push ctx = ctx.scopes <- new_scope ctx.bb :: ctx.scopes
+let push ctx = ctx.scopes <- { asserted = [] } :: ctx.scopes
 
 let pop ctx =
   match ctx.scopes with
   | [] | [ _ ] -> invalid_arg "Solver.pop: no scope to pop"
-  | sc :: rest ->
-    (* Permanently retire the selector: its guarded clauses become
-       satisfied at level 0 and never burden the search again. *)
-    Sat.add_clause (Bitblast.sat ctx.bb) [ Sat.lit_not sc.selector ];
-    ctx.scopes <- rest
+  | _ :: rest -> ctx.scopes <- rest
 
 let assert_terms ctx terms =
   match ctx.scopes with
   | [] -> assert false
   | sc :: _ ->
     List.iter
-      (fun t ->
-        if not (Term.is_true t) then begin
-          sc.asserted <- t :: sc.asserted;
-          Bitblast.assert_under ctx.bb ~selector:sc.selector t
-        end)
+      (fun t -> if not (Term.is_true t) then sc.asserted <- t :: sc.asserted)
       terms
 
 let assert_term ctx t = assert_terms ctx [ t ]
@@ -270,16 +362,33 @@ let asserted ctx = List.concat_map (fun sc -> sc.asserted) ctx.scopes
 
 let check_ctx ?(max_conflicts = max_int) ctx =
   let sts = [ stats; ctx.cstats ] in
-  let conj = Term.and_ (asserted ctx) in
-  check_conj sts ?cache:ctx.cache conj ~blast_and_solve:(fun conj ->
-      let assumptions = List.rev_map (fun sc -> sc.selector) ctx.scopes in
-      match Sat.solve ~max_conflicts ~assumptions (Bitblast.sat ctx.bb) with
-      | Sat.Sat ->
-        let m = Bitblast.extract_model ctx.bb in
-        validate_model conj m;
-        Sat m
-      | Sat.Unsat -> Unsat
-      | Sat.Unknown -> Unknown)
+  check_conj sts ?cache:ctx.cache ~preprocess:ctx.preprocess (asserted ctx)
+    ~blast_and_solve:(fun pre ->
+      let sat = Bitblast.sat ctx.bb in
+      ctx.checks <- ctx.checks + 1;
+      if ctx.checks land 63 = 0 then Sat.simplify sat;
+      let selector = Bitblast.fresh ctx.bb in
+      let r =
+        instrumented sts ctx.bb
+          ~blast:(fun () ->
+            List.iter
+              (fun t -> Bitblast.assert_under ctx.bb ~selector t)
+              pre.Preprocess.conjuncts)
+          ~solve:(fun () ->
+            Sat.solve ~max_conflicts ~assumptions:[ selector ] sat)
+      in
+      (* Extract before retiring: adding the unit clause backtracks to
+         level 0 and wipes the satisfying trail. *)
+      let outcome =
+        match r with
+        | Sat.Sat -> Sat (Bitblast.extract_model ctx.bb)
+        | Sat.Unsat -> Unsat
+        | Sat.Unknown -> Unknown
+      in
+      (* Permanently retire the selector: this check's root clauses
+         become satisfied at level 0 and never burden the search again. *)
+      Sat.add_clause sat [ Sat.lit_not selector ];
+      outcome)
 
 let pp_outcome fmt = function
   | Sat m -> Format.fprintf fmt "sat@ %a" Model.pp m

@@ -1,23 +1,28 @@
 (** Satisfiability of quantifier-free bit-vector constraints.
 
     The pipeline is: smart-constructor folding (already applied by
-    {!Term}), a memoizing query cache, a cheap interval refutation, then
-    bit-blasting onto the CDCL SAT core. Every [Sat] answer is
-    re-validated by evaluating the original constraints under the
-    extracted model, so a blasting bug can never produce a bogus
-    counterexample.
+    {!Term}), word-level preprocessing ({!Preprocess}: equality
+    substitution, constant propagation, unconstrained-variable
+    elimination and component slicing), a memoizing query cache keyed
+    on the preprocessed conjunction, a cheap interval refutation, then
+    bit-blasting (with AIG-style gate sharing) onto the CDCL SAT core.
+    Every [Sat] answer is completed with the eliminated variables'
+    bindings and re-validated by evaluating the original constraints
+    under the completed model, so neither a preprocessing nor a
+    blasting bug can produce a bogus counterexample.
 
     Two front ends share that pipeline:
-    - {!check} — one-shot: blasts the conjunction into a fresh SAT
-      instance and solves it;
+    - {!check} — one-shot: blasts the preprocessed conjunction into a
+      fresh SAT instance and solves it;
     - {!create_ctx} / {!push} / {!assert_terms} / {!check_ctx} /
       {!pop} — incremental: one bit-blaster and SAT instance persist
-      across checks, each scope's constraints are guarded by a fresh
-      selector literal, and checking solves under the live selectors as
-      assumptions. Learned clauses, variable activities and the blasted
-      term DAG all carry over between checks, which is what makes
-      sibling composite paths (sharing long constraint prefixes) cheap
-      to check in sequence. *)
+      across checks. Each check preprocesses the live conjunction,
+      asserts the residual conjuncts under a fresh throwaway selector
+      literal, solves with that single assumption and then permanently
+      retires the selector. Learned clauses, variable activities, gate
+      encodings and the blasted term DAG all carry over between checks,
+      which is what makes sibling composite paths (sharing long
+      constraint prefixes) cheap to check in sequence. *)
 
 type outcome =
   | Sat of Model.t
@@ -30,10 +35,21 @@ type stats = {
   mutable unsat_answers : int;
   mutable unknown_answers : int;
   mutable interval_refutations : int;
-  mutable folded : int;  (** decided by constant folding alone *)
+  mutable folded : int;  (** decided by preprocessing + folding alone *)
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable eliminated_conjuncts : int;
+      (** equality-substituted + unconstrained conjuncts dropped *)
+  mutable sliced_conjuncts : int;  (** dropped by component slicing *)
+  mutable gate_hits : int;  (** structural gate-cache hits while blasting *)
+  mutable gate_misses : int;  (** distinct gates actually encoded *)
+  mutable sat_vars : int;  (** SAT variables created while solving *)
+  mutable sat_clauses : int;  (** problem clauses added while solving *)
+  mutable learned_deleted : int;  (** learned clauses deleted by reduction *)
+  mutable preprocess_time : float;  (** wall seconds per phase... *)
+  mutable blast_time : float;
+  mutable sat_time : float;
 }
 
 val stats : stats
@@ -46,9 +62,11 @@ val fresh_stats : unit -> stats
 (** {1 Query cache} *)
 
 (** Memoizes definite ([Sat]/[Unsat]) answers keyed on the hash-consed
-    id of the full constraint conjunction; [Unknown] answers are never
-    cached because they depend on the conflict budget. Bounded, with
-    FIFO eviction. *)
+    id of the *preprocessed* constraint conjunction, so queries that
+    differ only in eliminated conjuncts collide; cached [Sat] models
+    are re-completed per hit. [Unknown] answers are never cached
+    because they depend on the conflict budget. Bounded, with FIFO
+    eviction. *)
 module Cache : sig
   type t
 
@@ -63,9 +81,11 @@ val shared_cache : Cache.t
 
 (** {1 One-shot checking} *)
 
-val check : ?max_conflicts:int -> ?cache:Cache.t -> Term.t list -> outcome
+val check :
+  ?max_conflicts:int -> ?cache:Cache.t -> ?preprocess:bool ->
+  Term.t list -> outcome
 (** Satisfiability of the conjunction. No caching unless [cache] is
-    supplied. *)
+    supplied; word-level preprocessing is on unless [preprocess:false]. *)
 
 val check_term : ?max_conflicts:int -> Term.t -> outcome
 
@@ -80,7 +100,7 @@ val is_unsat : ?max_conflicts:int -> Term.t list -> bool
 
 type ctx
 
-val create_ctx : ?cache:Cache.t -> unit -> ctx
+val create_ctx : ?cache:Cache.t -> ?preprocess:bool -> unit -> ctx
 (** A fresh context with one root scope. Contexts are not thread-safe;
     create one per exploration. *)
 
@@ -92,8 +112,10 @@ val pop : ctx -> unit
     survive. Raises [Invalid_argument] on the root scope. *)
 
 val assert_terms : ctx -> Term.t list -> unit
-(** Add constraints to the innermost scope. Each term is bit-blasted
-    immediately (once per distinct term, ever). *)
+(** Add constraints to the innermost scope. Terms are recorded
+    word-level; bit-blasting happens per check on the preprocessed
+    conjunction (each distinct term and gate is still only encoded
+    once, ever, thanks to the persistent blaster). *)
 
 val assert_term : ctx -> Term.t -> unit
 

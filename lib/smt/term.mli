@@ -116,6 +116,14 @@ val substitute : (string -> t option) -> t -> t
 (** Simultaneous substitution of variables (both bool and bv); the
     replacement must have the variable's sort. *)
 
+val substitute_vars :
+  ?memo:(int, t) Hashtbl.t -> (string -> Sort.t -> t option) -> t -> t
+(** Like {!substitute}, but the callback also receives the variable's
+    sort (so a rename can rebuild the variable without knowing widths
+    a priori), and an optional caller-supplied memo table lets a batch
+    of terms that share structure be rewritten in one DAG walk: pass
+    the same table to every call made with the {e same} callback. *)
+
 val rename_vars : (string -> string) -> t -> t
 (** Rename every free variable. *)
 

@@ -33,6 +33,7 @@ type outcome =
 
 type out_state = {
   head_delta : int;
+  min_delta : int;
   len_out : T.t;
   writes : (int * T.t) list;  (** post-window offset -> byte term *)
   havoc : (int * int) option;
@@ -169,6 +170,7 @@ let finish_segment ctx (st : S.t) outcome =
       out_state =
         {
           head_delta = st.S.head - st.S.headroom;
+          min_delta = st.S.min_head - st.S.headroom;
           len_out = st.S.len;
           writes;
           havoc =
@@ -329,6 +331,7 @@ and exec_instr ctx mode (st : S.t) ins k =
       finish_segment ctx st (O_crash C_headroom)
     else begin
       st.S.head <- st.S.head - n;
+      if st.S.head < st.S.min_head then st.S.min_head <- st.S.head;
       st.S.len <- T.add st.S.len (T.bv_int ~width:16 n);
       for i = 0 to n - 1 do
         S.write_byte st i (T.bv (B.zero 8))

@@ -33,6 +33,12 @@ type outcome =
 (** How a segment transforms the packet, in window-relative terms. *)
 type out_state = {
   head_delta : int;           (** net Pull (+) / Push (-) in bytes *)
+  min_delta : int;
+      (** most negative head excursion along the path, [<= 0] and
+          [<= head_delta]: the headroom this segment needs on entry.
+          An element's own symbex starts from the full configured
+          headroom, so composition must check the remaining budget
+          against this. *)
   len_out : T.t;              (** output window length *)
   writes : (int * T.t) list;  (** post-window offset -> byte term *)
   havoc : (int * int) option;

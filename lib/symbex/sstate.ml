@@ -33,6 +33,7 @@ type t = {
   mutable path : T.t list;           (* reversed conjuncts *)
   overrides : (int, T.t) Hashtbl.t;  (* absolute offset -> byte term *)
   mutable head : int;                (* absolute; initial = headroom *)
+  mutable min_head : int;            (* lowest head reached (Push dips) *)
   headroom : int;
   mutable len : T.t;                 (* 16-bit *)
   mutable meta : (Ir.meta * T.t) list;
@@ -55,6 +56,7 @@ let create ~headroom =
     path = [];
     overrides = Hashtbl.create 32;
     head = headroom;
+    min_head = headroom;
     headroom;
     len = T.var len_var 16;
     meta = [];

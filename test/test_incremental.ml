@@ -139,11 +139,44 @@ let cache_tests =
         let cache = Solver.Cache.create ~capacity:4 () in
         let e0 = Solver.stats.Solver.cache_evictions in
         for i = 0 to 9 do
-          ignore (Solver.check ~cache [ T.eq x (c i) ])
+          (* [x = i] alone would be eliminated (and the query folded)
+             by preprocessing before it ever reaches the cache, so
+             exercise the FIFO mechanics with preprocessing off. *)
+          ignore (Solver.check ~cache ~preprocess:false [ T.eq x (c i) ])
         done;
         check_int "length capped" 4 (Solver.Cache.length cache);
         check_int "evictions counted" (e0 + 6)
           Solver.stats.Solver.cache_evictions);
+    Alcotest.test_case "hit across eliminated conjuncts" `Quick (fun () ->
+        (* The cache is keyed on the *preprocessed* conjunction, so a
+           query carrying an eliminable definition and an unconstrained
+           bound must land on the same entry as its stripped core. *)
+        let cache = Solver.Cache.create () in
+        let k = T.var "kk8" 8 and lone = T.var "lone8" 8 in
+        let core = [ T.ult x y; T.ult y (c 77) ] in
+        let with_def =
+          T.eq k (T.add x (c 1)) :: T.ule k (T.add x (c 1)) :: core
+        in
+        let with_lone = T.ule lone (c 3) :: core in
+        let h0 = Solver.stats.Solver.cache_hits in
+        (match Solver.check ~cache with_def with
+        | Solver.Sat m ->
+          check_bool "def model valid" true
+            (List.for_all (Eval.eval_bool m) with_def)
+        | _ -> Alcotest.fail "expected sat");
+        check_int "one entry after the defining query" 1
+          (Solver.Cache.length cache);
+        (match Solver.check ~cache core with
+        | Solver.Sat _ -> ()
+        | _ -> Alcotest.fail "expected sat");
+        (match Solver.check ~cache with_lone with
+        | Solver.Sat m ->
+          check_bool "lone model valid" true
+            (List.for_all (Eval.eval_bool m) with_lone)
+        | _ -> Alcotest.fail "expected sat");
+        check_int "still one entry" 1 (Solver.Cache.length cache);
+        check_int "both follow-ups were hits" (h0 + 2)
+          Solver.stats.Solver.cache_hits);
     Alcotest.test_case "incremental contexts share a cache" `Quick (fun () ->
         let cache = Solver.Cache.create () in
         let run () =

@@ -17,4 +17,5 @@ let () =
       ("incremental", Test_incremental.tests);
       ("parallel", Test_parallel.tests);
       ("replay", Test_replay.tests);
+      ("preprocess", Test_preprocess.tests);
     ]

@@ -105,6 +105,44 @@ let unit_tests =
           List.filter (fun c -> not (List.mem (var n 0) c && List.length c = n)) clauses
         in
         check_bool "php-1" true (is_sat nvars reduced));
+    Alcotest.test_case "clause-database reduction keeps answers right"
+      `Quick (fun () ->
+        (* An aggressive reduction schedule forces several learned-DB
+           sweeps on an instance that needs real search; the verdict
+           must be unchanged and deletions must actually happen. *)
+        let nvars, clauses = pigeonhole 6 in
+        let s = Sat.create ~reduce_interval:50 () in
+        let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+        List.iter
+          (fun clause ->
+            Sat.add_clause s
+              (List.map (fun l -> Sat.lit vars.(abs l - 1) (l > 0)) clause))
+          clauses;
+        (match Sat.solve s with
+        | Sat.Unsat -> ()
+        | Sat.Sat -> Alcotest.fail "php6 cannot be sat"
+        | Sat.Unknown -> Alcotest.fail "unexpected Unknown");
+        check_bool "reductions ran" true (Sat.num_reductions s > 0);
+        check_bool "learned clauses were deleted" true
+          (Sat.num_learned_deleted s > 0);
+        (* Same schedule on a satisfiable instance still finds a model. *)
+        let nvars', clauses' = pigeonhole 6 in
+        let reduced =
+          (* drop one pigeon's clauses -> n pigeons, n holes: sat *)
+          List.filter
+            (fun c -> not (List.exists (fun l -> abs l > 6 * 6) c))
+            clauses'
+        in
+        let s' = Sat.create ~reduce_interval:50 () in
+        let vars' = Array.init nvars' (fun _ -> Sat.new_var s') in
+        List.iter
+          (fun clause ->
+            Sat.add_clause s'
+              (List.map (fun l -> Sat.lit vars'.(abs l - 1) (l > 0)) clause))
+          reduced;
+        match Sat.solve s' with
+        | Sat.Sat -> ()
+        | _ -> Alcotest.fail "php with equal pigeons and holes is sat");
     Alcotest.test_case "budget returns Unknown" `Quick (fun () ->
         let nvars, clauses = pigeonhole 7 in
         let s, _ = solve_clauses nvars clauses in

@@ -354,6 +354,94 @@ let tests_unit =
         | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
   ]
 
+(* {1 Headroom accounting through composition}
+
+   Each element's own summary assumes the full configured headroom, so
+   stacked encapsulations are locally safe yet crash concretely once
+   their pushes sum past the budget; the composition must carry the
+   remaining budget and report the dip as a headroom crash. *)
+
+let encap name =
+  Click.Registry.make ~name ~cls:"EtherEncap"
+    ~config:[ "2048"; "02:00:00:00:00:01"; "02:00:00:00:00:02" ]
+
+let headroom_tests =
+  [
+    Alcotest.test_case "stacked encapsulations exhaust headroom" `Quick
+      (fun () ->
+        Summaries.clear ();
+        (* 5 x push 14 = 70 > 64: the fifth encap dips. Replay must
+           reproduce the Headroom_exhausted crash on the runtime. *)
+        let pl =
+          Click.Pipeline.linear (List.init 5 (fun i ->
+              encap (Printf.sprintf "e%d" i)))
+        in
+        let r = V.check_crash_freedom ~config:fast_config pl in
+        (match violations r with
+        | [] -> Alcotest.fail "expected a headroom violation"
+        | vs ->
+          List.iter
+            (fun (v : V.violation) ->
+              check_bool "headroom crash" true
+                (v.V.outcome = E.O_crash E.C_headroom);
+              check_bool "reproduced on the runtime" true v.V.confirmed)
+            vs);
+        (* 4 x push 14 = 56 <= 64 stays safe. *)
+        Summaries.clear ();
+        let pl4 =
+          Click.Pipeline.linear (List.init 4 (fun i ->
+              encap (Printf.sprintf "f%d" i)))
+        in
+        check_bool "4 encaps proved" true
+          (proved (V.check_crash_freedom ~config:fast_config pl4)));
+    Alcotest.test_case "strip/encap alternation replenishes the budget"
+      `Quick (fun () ->
+        Summaries.clear ();
+        (* encap/strip pairs net to zero: 6 elements, never below 50
+           remaining, proved — and the static budget pass must keep the
+           dip checks off this pipeline (same check count as suspects
+           demand, no headroom violations). *)
+        let pl =
+          Click.Pipeline.linear
+            [
+              encap "e0";
+              Click.Registry.make ~name:"s0" ~cls:"Strip" ~config:[ "14" ];
+              encap "e1";
+              Click.Registry.make ~name:"s1" ~cls:"Strip" ~config:[ "14" ];
+              encap "e2";
+              Click.Registry.make ~name:"s2" ~cls:"Strip" ~config:[ "14" ];
+            ]
+        in
+        check_bool "proved" true
+          (proved (V.check_crash_freedom ~config:fast_config pl)));
+    Alcotest.test_case "configured headroom budget is respected" `Quick
+      (fun () ->
+        (* Same 3-encap pipeline, verified under different budgets.
+           Replay is off: the concrete runtime always allocates the
+           default headroom, so non-default budgets cannot reproduce. *)
+        let with_headroom h =
+          {
+            fast_config with
+            V.engine = { E.default_config with E.max_len = 128; E.headroom = h };
+            V.replay = false;
+          }
+        in
+        let pl () =
+          Click.Pipeline.linear (List.init 3 (fun i ->
+              encap (Printf.sprintf "g%d" i)))
+        in
+        Summaries.clear ();
+        check_bool "42 bytes suffice for 3 pushes" true
+          (proved (V.check_crash_freedom ~config:(with_headroom 42) (pl ())));
+        Summaries.clear ();
+        let r = V.check_crash_freedom ~config:(with_headroom 41) (pl ()) in
+        check_bool "41 bytes do not" true
+          (List.exists
+             (fun (v : V.violation) ->
+               v.V.outcome = E.O_crash E.C_headroom)
+             (violations r)));
+  ]
+
 (* Composition soundness oracle: the composite verdicts must agree with
    brute-force concrete execution on random packets. If the verifier
    proved crash-freedom, no packet may crash the runtime. *)
@@ -374,4 +462,5 @@ let no_crash_after_proof =
       !ok)
 
 let tests =
-  tests_unit @ List.map QCheck_alcotest.to_alcotest [ no_crash_after_proof ]
+  tests_unit @ headroom_tests
+  @ List.map QCheck_alcotest.to_alcotest [ no_crash_after_proof ]
