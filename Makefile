@@ -16,12 +16,15 @@ bench:
 ci: build
 	dune runtest
 	dune exec bin/vdpverify.exe -- crash examples/router.click
-	dune exec bin/vdpverify.exe -- crash -j 4 examples/router.click
+	dune exec bin/vdpverify.exe -- crash -j 4 --certify examples/router.click
+	dune exec bin/vdpverify.exe -- verify --certify examples/router.click
+	dune exec bin/vdpverify.exe -- crash --certify examples/firewall.click
 	dune exec bin/vdpverify.exe -- replay examples/router.click
 	dune exec bin/vdpverify.exe -- replay examples/firewall.click
 	dune exec bench/main.exe -- e1
 	dune exec bench/main.exe -- e8
 	VDP_E9_SMOKE=1 dune exec bench/main.exe -- e9
+	VDP_E10_SMOKE=1 dune exec bench/main.exe -- e10
 
 clean:
 	dune clean

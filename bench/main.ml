@@ -123,6 +123,21 @@ let solver_stats_json () =
       ("preprocess_seconds", Json.Float s.Solver.preprocess_time);
       ("blast_seconds", Json.Float s.Solver.blast_time);
       ("sat_seconds", Json.Float s.Solver.sat_time);
+      ( "cert_stats",
+        Json.Obj
+          [
+            ("attempted", Json.Int s.Solver.cert_attempted);
+            ("checked", Json.Int s.Solver.cert_checked);
+            ("failed", Json.Int s.Solver.cert_failed);
+            ("cached", Json.Int s.Solver.cert_cached);
+            ("drat", Json.Int s.Solver.cert_drat);
+            ("interval", Json.Int s.Solver.cert_interval);
+            ("folded", Json.Int s.Solver.cert_folded);
+            ("proof_clauses", Json.Int s.Solver.cert_proof_clauses);
+            ("proof_deletions", Json.Int s.Solver.cert_proof_deletions);
+            ("solve_seconds", Json.Float s.Solver.cert_solve_time);
+            ("check_seconds", Json.Float s.Solver.cert_check_time);
+          ] );
     ]
 
 (* Experiments that double as checks (E8) flip this on failure; the
@@ -1087,6 +1102,165 @@ let e9 () =
   | None ->
     Printf.printf "no BENCH_e9_baseline.json; skipping regression check\n")
 
+(* {1 E10 — proof-certificate coverage and overhead} *)
+
+let e10 () =
+  section "E10: proof-certificate coverage and overhead";
+  let module C = Vdp_cert.Certificate in
+  let smoke = Sys.getenv_opt "VDP_E10_SMOKE" <> None in
+  (* Verify each pipeline twice — certification off, then on — and
+     require (a) identical verdicts/bounds, (b) every refutation behind
+     the certified run independently validated. The instruction bound
+     runs on the router only (see E9: the firewall's segment count makes
+     it impractical in either mode). The regression gate is computed
+     over the two fast pipelines only, so smoke and full runs compare on
+     the same scale; smoke mode skips the router entirely. *)
+  let pipelines =
+    List.concat
+      [
+        (if Sys.file_exists "examples/firewall.click" then
+           [
+             ( "examples/firewall.click",
+               Click.Config.parse_file "examples/firewall.click",
+               false,
+               true );
+           ]
+         else []);
+        [ ("NetFlow+NAT", Click.Config.parse nat_config, false, true) ];
+        (if (not smoke) && Sys.file_exists "examples/router.click" then
+           [
+             ( "examples/router.click",
+               Click.Config.parse_file "examples/router.click",
+               true,
+               false );
+           ]
+         else []);
+      ]
+  in
+  let rows = ref [] in
+  let gated_total = ref 0. in
+  List.iter
+    (fun (name, pl, with_bound, gated) ->
+      let run ~certify =
+        Summaries.clear ();
+        Solver.Cache.clear Solver.shared_cache;
+        let config = { V.default_config with V.certify } in
+        let crash = V.check_crash_freedom ~config pl in
+        let bound =
+          if with_bound then Some (V.instruction_bound ~config pl) else None
+        in
+        (crash, bound)
+      in
+      let (c0, b0), dt0 = time (fun () -> run ~certify:false) in
+      let (c1, b1), dt1 = time (fun () -> run ~certify:true) in
+      if gated then gated_total := !gated_total +. dt1;
+      let bound_of r = Option.bind r (fun (b : V.bound_report) -> b.V.bound) in
+      let verdict_ok =
+        same_verdict c0.V.verdict c1.V.verdict && bound_of b0 = bound_of b1
+      in
+      (* Every property the certified run proved must carry a summary
+         with full coverage; a Proved verdict with an uncertified (or
+         missing) refutation is exactly what this experiment exists to
+         catch. *)
+      let summaries =
+        (match c1.V.cert with
+        | Some s -> [ ("crash", s) ]
+        | None -> [])
+        @
+        match b1 with
+        | Some b -> (
+          match b.V.b_cert with Some s -> [ ("bound", s) ] | None -> [])
+        | None -> []
+      in
+      let covered =
+        summaries <> []
+        && List.for_all
+             (fun (_, (s : C.summary)) ->
+               s.C.failed = 0 && s.C.certified = s.C.attempted)
+             summaries
+      in
+      let cert_json (s : C.summary) =
+        Json.Obj
+          [
+            ("attempted", Json.Int s.C.attempted);
+            ("certified", Json.Int s.C.certified);
+            ("failed", Json.Int s.C.failed);
+            ("folded", Json.Int s.C.folded);
+            ("interval", Json.Int s.C.interval);
+            ("drat", Json.Int s.C.drat);
+            ("cached", Json.Int s.C.cached);
+            ("proof_clauses", Json.Int s.C.proof_clauses);
+            ("proof_deletions", Json.Int s.C.proof_deletions);
+            ("solve_seconds", Json.Float s.C.solve_seconds);
+            ("check_seconds", Json.Float s.C.check_seconds);
+          ]
+      in
+      Printf.printf
+        "%-28s plain %.2fs / certified %.2fs (%.2fx): %s, %s\n%!" name dt0
+        dt1
+        (if dt0 > 0. then dt1 /. dt0 else 0.)
+        (verdict_str c1.V.verdict)
+        (if verdict_ok && covered then
+           String.concat "; "
+             (List.map
+                (fun (prop, (s : C.summary)) ->
+                  Printf.sprintf "%s %d/%d certified" prop s.C.certified
+                    s.C.attempted)
+                summaries)
+         else "FAILED");
+      if not verdict_ok then begin
+        Printf.printf "E10 FAILED: certification changed the verdict on %s\n"
+          name;
+        exit_code := 1
+      end;
+      if not covered then begin
+        Printf.printf "E10 FAILED: uncertified refutations on %s\n" name;
+        exit_code := 1
+      end;
+      rows :=
+        Json.Obj
+          [
+            ("pipeline", Json.Str name);
+            ("crash_verdict", Json.Str (verdict_str c1.V.verdict));
+            ( "bound",
+              match bound_of b1 with
+              | Some b -> Json.Int b
+              | None -> Json.Str (if with_bound then "none" else "skipped")
+            );
+            ("verdicts_agree", Json.Bool verdict_ok);
+            ("fully_certified", Json.Bool covered);
+            ("seconds_plain", Json.Float dt0);
+            ("seconds_certified", Json.Float dt1);
+            ( "certificates",
+              Json.Obj (List.map (fun (p, s) -> (p, cert_json s)) summaries)
+            );
+          ]
+        :: !rows)
+    pipelines;
+  record "pipelines" (Json.List (List.rev !rows));
+  record "smoke" (Json.Bool smoke);
+  record "gated_certify_seconds" (Json.Float !gated_total);
+  match
+    json_float_field "BENCH_e10_baseline.json" "gated_certify_seconds"
+  with
+  | Some baseline ->
+    let floor = max baseline 0.001 in
+    let regressed = !gated_total > 2. *. floor in
+    record "baseline_seconds" (Json.Float baseline);
+    record "regressed" (Json.Bool regressed);
+    if regressed then begin
+      Printf.printf
+        "E10 FAILED: certified runs took %.2fs, more than 2x the baseline \
+         %.2fs\n"
+        !gated_total baseline;
+      exit_code := 1
+    end
+    else
+      Printf.printf "no regression vs baseline (%.2fs <= 2x %.2fs)\n"
+        !gated_total floor
+  | None ->
+    Printf.printf "no BENCH_e10_baseline.json; skipping regression check\n"
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -1171,7 +1345,7 @@ let micro () =
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
             "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8; "e9", e9;
-            "micro", micro ]
+            "e10", e10; "micro", micro ]
 
 let () =
   let requested =

@@ -4,10 +4,13 @@
      vdpverify crash router.click
      vdpverify crash --monolithic --budget 50000 router.click
      vdpverify bound router.click
+     vdpverify verify --certify router.click
+     vdpverify cert router.click
      vdpverify classes *)
 
 module E = Vdp_symbex.Engine
 module V = Vdp_verif.Verifier
+module C = Vdp_cert.Certificate
 
 open Cmdliner
 
@@ -56,6 +59,16 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let certify_arg =
+  let doc =
+    "Produce and independently check a proof certificate for every refuted \
+     suspect-path query (constant folding, interval-explanation replay, or \
+     a DRAT proof over the bit-blasted query validated by a separate \
+     checker). A PROVED verdict that carries any uncertified refutation \
+     exits with status 3."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let no_replay_arg =
   let doc =
     "Skip replaying witnesses on the concrete runtime. By default every \
@@ -76,7 +89,7 @@ let load path =
   | Invalid_argument m -> Error m
 
 let verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
-    ~no_replay ~jobs =
+    ~no_replay ~jobs ~certify =
   {
     V.default_config with
     V.engine = { E.default_config with E.max_len };
@@ -85,11 +98,20 @@ let verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
     V.preprocess = not no_preprocess;
     V.replay = not no_replay;
     V.jobs = max 1 jobs;
+    V.certify = certify;
   }
+
+(* No certification requested, or every refutation certified. *)
+let cert_clean = function None -> true | Some c -> c.C.failed = 0
+
+let verdict_code verdict cert =
+  match verdict with
+  | V.Proved -> if cert_clean cert then 0 else 3
+  | _ -> 2
 
 let crash_cmd =
   let run config_path max_len monolithic budget no_incremental no_cache
-      no_preprocess no_replay jobs =
+      no_preprocess no_replay jobs certify =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -121,13 +143,13 @@ let crash_cmd =
       else begin
         let config =
           verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
-            ~no_replay ~jobs
+            ~no_replay ~jobs ~certify
         in
         Vdp_smt.Solver.reset_stats ();
         let r = V.check_crash_freedom ~config pl in
         Format.printf "%a  %a@.@." Vdp_verif.Report.pp_report r
           Vdp_verif.Report.pp_solver_stats Vdp_smt.Solver.stats;
-        match r.V.verdict with V.Proved -> 0 | _ -> 2
+        verdict_code r.V.verdict r.V.cert
       end
   in
   let doc = "Prove crash freedom (or produce crashing packets)." in
@@ -136,11 +158,11 @@ let crash_cmd =
     Term.(
       const run $ config_arg $ max_len_arg $ monolithic_arg $ budget_arg
       $ no_incremental_arg $ no_cache_arg $ no_preprocess_arg $ no_replay_arg
-      $ jobs_arg)
+      $ jobs_arg $ certify_arg)
 
 let bound_cmd =
   let run config_path max_len no_incremental no_cache no_preprocess no_replay
-      jobs =
+      jobs certify =
     match load config_path with
     | Error m ->
       Format.eprintf "error: %s@." m;
@@ -148,20 +170,99 @@ let bound_cmd =
     | Ok pl ->
       let config =
         verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
-          ~no_replay ~jobs
+          ~no_replay ~jobs ~certify
       in
       Vdp_smt.Solver.reset_stats ();
       let r = V.instruction_bound ~config pl in
       Format.printf "%a  %a@.@." Vdp_verif.Report.pp_bound_report r
         Vdp_verif.Report.pp_solver_stats Vdp_smt.Solver.stats;
-      (match r.V.b_verdict with V.Proved -> 0 | _ -> 2)
+      verdict_code r.V.b_verdict r.V.b_cert
   in
   let doc = "Prove a per-packet instruction bound and find the witness." in
   Cmd.v
     (Cmd.info "bound" ~doc)
     Term.(
       const run $ config_arg $ max_len_arg $ no_incremental_arg
-      $ no_cache_arg $ no_preprocess_arg $ no_replay_arg $ jobs_arg)
+      $ no_cache_arg $ no_preprocess_arg $ no_replay_arg $ jobs_arg
+      $ certify_arg)
+
+(* Crash freedom + instruction bound in one run — the "is this pipeline
+   fit to ship" command. With [--certify], both properties' refutations
+   must additionally carry independently checked certificates. *)
+let verify_cmd =
+  let run config_path max_len no_incremental no_cache no_preprocess no_replay
+      jobs certify =
+    match load config_path with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok pl ->
+      let config =
+        verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
+          ~no_replay ~jobs ~certify
+      in
+      Vdp_smt.Solver.reset_stats ();
+      let rc = V.check_crash_freedom ~config pl in
+      Format.printf "%a@." Vdp_verif.Report.pp_report rc;
+      let rb = V.instruction_bound ~config pl in
+      Format.printf "%a  %a@.@." Vdp_verif.Report.pp_bound_report rb
+        Vdp_verif.Report.pp_solver_stats Vdp_smt.Solver.stats;
+      max (verdict_code rc.V.verdict rc.V.cert)
+        (verdict_code rb.V.b_verdict rb.V.b_cert)
+  in
+  let doc =
+    "Prove crash freedom and the instruction bound together; with \
+     $(b,--certify), fail unless every refutation behind the verdicts is \
+     independently certified."
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ no_incremental_arg
+      $ no_cache_arg $ no_preprocess_arg $ no_replay_arg $ jobs_arg
+      $ certify_arg)
+
+(* Certification-focused view: run both properties with certificates
+   forced on and report certified/uncertified counts per verdict. *)
+let cert_cmd =
+  let run config_path max_len no_incremental no_cache no_preprocess jobs =
+    match load config_path with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok pl ->
+      let config =
+        verifier_config max_len ~no_incremental ~no_cache ~no_preprocess
+          ~no_replay:false ~jobs ~certify:true
+      in
+      Vdp_smt.Solver.reset_stats ();
+      let rc = V.check_crash_freedom ~config pl in
+      let rb = V.instruction_bound ~config pl in
+      let line name verdict cert =
+        match cert with
+        | None -> ()
+        | Some (c : C.summary) ->
+          Format.printf
+            "%-16s %-12s certified %d/%d (uncertified %d)@.    %a@." name
+            (Vdp_verif.Report.to_string Vdp_verif.Report.pp_verdict verdict)
+            c.C.certified c.C.attempted c.C.failed
+            Vdp_verif.Report.pp_cert_summary c
+      in
+      line "crash freedom" rc.V.verdict rc.V.cert;
+      line "instr bound" rb.V.b_verdict rb.V.b_cert;
+      max (verdict_code rc.V.verdict rc.V.cert)
+        (verdict_code rb.V.b_verdict rb.V.b_cert)
+  in
+  let doc =
+    "Certify both properties' verdicts: every refuted suspect-path query \
+     must come with a proof the independent checker accepts; report \
+     certified/uncertified counts per verdict."
+  in
+  Cmd.v
+    (Cmd.info "cert" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ no_incremental_arg
+      $ no_cache_arg $ no_preprocess_arg $ jobs_arg)
 
 let replay_cmd =
   let run config_path max_len count seed jobs =
@@ -232,6 +333,7 @@ let main =
   let doc = "verify software-dataplane pipelines" in
   Cmd.group
     (Cmd.info "vdpverify" ~version:"1.0.0" ~doc)
-    [ crash_cmd; bound_cmd; replay_cmd; show_cmd; classes_cmd ]
+    [ crash_cmd; bound_cmd; verify_cmd; cert_cmd; replay_cmd; show_cmd;
+      classes_cmd ]
 
 let () = exit (Cmd.eval' main)

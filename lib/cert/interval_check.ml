@@ -1,0 +1,183 @@
+(* Independent replay of interval-refutation explanations.
+
+   [Vdp_smt.Interval.explain] records which atoms of a conjunction drove
+   some subject's unsigned interval empty. This module re-derives every
+   step with its own pattern matching and its own range analysis —
+   nothing here calls back into [Interval] — so the explanation is
+   evidence to be checked, not an answer to be believed. The recorded
+   bounds are ignored: each step's bound is recomputed from the atom, and
+   the atom itself must occur in the raw conjunction being refuted.
+
+   Trusted base: [Term]'s hash-consed representation (membership and
+   side-shape tests compare node ids) and the arithmetic below. *)
+
+module T = Vdp_smt.Term
+module Sort = Vdp_smt.Sort
+module B = Vdp_bitvec.Bitvec
+module I = Vdp_smt.Interval
+
+let max_width = 30
+
+(* Sound unsigned over-approximation of a term's value range. Mirrors
+   the shapes the producer's analysis understands (an intentionally
+   re-derived copy: if the two disagree, replay fails closed and the
+   producer falls back to a DRAT certificate). *)
+let rec crange (t : T.t) : (int * int) option =
+  let w = T.width t in
+  if w > max_width then None
+  else
+    let full = Some (0, (1 lsl w) - 1) in
+    match t.T.node with
+    | T.Bv_const v ->
+      let n = B.to_int_trunc v in
+      Some (n, n)
+    | T.Zext (_, a) -> ( match crange a with Some r -> Some r | None -> full)
+    | T.Extract (hi, 0, a) -> (
+      match crange a with
+      | Some (lo', hi') when hi' < 1 lsl (hi + 1) -> Some (lo', hi')
+      | _ -> full)
+    | T.Bv_bin (T.Badd, a, b) -> (
+      match (crange a, crange b) with
+      | Some (la, ha), Some (lb, hb) when ha + hb < 1 lsl w ->
+        Some (la + lb, ha + hb)
+      | _ -> full)
+    | T.Bv_bin (T.Bmul, a, b) -> (
+      match (crange a, crange b) with
+      | Some (la, ha), Some (lb, hb) when ha * hb < 1 lsl w ->
+        Some (la * lb, ha * hb)
+      | _ -> full)
+    | T.Bv_bin (T.Band, a, b) ->
+      let cap t' = match crange t' with Some (_, h) -> h | None -> (1 lsl w) - 1 in
+      Some (0, min (cap a) (cap b))
+    | T.Bv_bin (T.Blshr, a, b) -> (
+      match (crange a, crange b) with
+      | Some (_, ha), Some (k, k') when k = k' -> Some (0, ha lsr k)
+      | _ -> full)
+    | T.Bv_bin (T.Bshl, a, b) -> (
+      match (crange a, crange b) with
+      | Some (lo', hi'), Some (k, k') when k = k' && k < w && hi' lsl k < 1 lsl w
+        ->
+        Some (lo' lsl k, hi' lsl k)
+      | _ -> full)
+    | _ -> full
+
+let point t = match crange t with Some (lo, hi) when lo = hi -> Some lo | _ -> None
+
+(* The atoms of the raw conjunction, as a membership set on term ids. *)
+let conjunct_ids (query : T.t list) =
+  let ids = Hashtbl.create 32 in
+  let rec collect (t : T.t) =
+    match t.T.node with
+    | T.And ts -> Array.iter collect ts
+    | _ -> Hashtbl.replace ids t.T.id ()
+  in
+  List.iter collect query;
+  ids
+
+let member ids (t : T.t) = Hashtbl.mem ids t.T.id
+
+(* The unsigned bound [atom] implies on [subject], derived from the
+   atom's own shape; [None] when the atom says nothing we can see. An
+   empty pair (lo > hi) means the atom alone is unsatisfiable. *)
+let implied_bound (atom : T.t) (subject : T.t) : (int * int) option =
+  let inner, positive =
+    match atom.T.node with T.Not a -> (a, false) | _ -> (atom, true)
+  in
+  let max_subject = (1 lsl T.width subject) - 1 in
+  match inner.T.node with
+  | T.Bv_cmp (op, a, b) -> (
+    let flip (op : T.cmp) : T.cmp =
+      match op with T.Ult -> T.Ule | T.Ule -> T.Ult | T.Slt -> T.Sle | T.Sle -> T.Slt
+    in
+    (* not (a op b) == b (flip op) a *)
+    let op, a, b = if positive then (op, a, b) else (flip op, b, a) in
+    match op with
+    | T.Ult when T.equal a subject -> (
+      match point b with Some n -> Some (0, n - 1) | None -> None)
+    | T.Ule when T.equal a subject -> (
+      match point b with Some n -> Some (0, n) | None -> None)
+    | T.Ult when T.equal b subject -> (
+      match point a with Some n -> Some (n + 1, max_subject) | None -> None)
+    | T.Ule when T.equal b subject -> (
+      match point a with Some n -> Some (n, max_subject) | None -> None)
+    | _ -> None)
+  | T.Eq (a, b) when positive ->
+    if T.equal a subject then
+      match point b with Some n -> Some (n, n) | None -> None
+    else if T.equal b subject then
+      match point a with Some n -> Some (n, n) | None -> None
+    else None
+  | _ -> None
+
+(* [atom] is [subject <> n]? *)
+let implied_diseq (atom : T.t) (subject : T.t) : int option =
+  match atom.T.node with
+  | T.Not inner -> (
+    match inner.T.node with
+    | T.Eq (a, b) when not (Sort.is_bool (T.sort a)) ->
+      if T.equal a subject then point b
+      else if T.equal b subject then point a
+      else None
+    | _ -> None)
+  | _ -> None
+
+type outcome = (unit, string) result
+
+let check (query : T.t list) (ex : I.explanation) : outcome =
+  let ids = conjunct_ids query in
+  match ex with
+  | I.Ex_diseq_points atom -> (
+    if not (member ids atom) then Error "diseq atom not in the conjunction"
+    else
+      match atom.T.node with
+      | T.Not inner -> (
+        match inner.T.node with
+        | T.Eq (a, b) when not (Sort.is_bool (T.sort a)) -> (
+          match (point a, point b) with
+          | Some n, Some m when n = m -> Ok ()
+          | _ -> Error "diseq sides are not the same point value")
+        | _ -> Error "diseq atom is not a disequality")
+      | _ -> Error "diseq atom is not a disequality")
+  | I.Ex_interval { subject; steps } ->
+    if T.width subject > max_width then Error "subject too wide to replay"
+    else begin
+      let lo, hi =
+        match crange subject with
+        | Some r -> r
+        | None -> (0, max_int)
+      in
+      let lo = ref lo and hi = ref hi in
+      let err = ref None in
+      let empty = ref (!lo > !hi) in
+      List.iter
+        (fun step ->
+          if !err = None then
+            if !empty then err := Some "steps continue past the contradiction"
+            else
+              match step with
+              | I.X_bound (atom, _, _) -> (
+                if not (member ids atom) then
+                  err := Some "bound atom not in the conjunction"
+                else
+                  match implied_bound atom subject with
+                  | None -> err := Some "atom implies no bound on the subject"
+                  | Some (l, h) ->
+                    lo := max !lo l;
+                    hi := min !hi h;
+                    if !lo > !hi then empty := true)
+              | I.X_shave (atom, n) -> (
+                if not (member ids atom) then
+                  err := Some "shave atom not in the conjunction"
+                else
+                  match implied_diseq atom subject with
+                  | Some m when m = n ->
+                    if !lo = n && !hi = n then empty := true
+                    else if !lo = n then incr lo
+                    else if !hi = n then decr hi
+                    else err := Some "shaved value is not an endpoint"
+                  | _ -> err := Some "atom is not a disequality on the subject"))
+        steps;
+      match !err with
+      | Some e -> Error e
+      | None -> if !empty then Ok () else Error "interval did not empty"
+    end

@@ -77,9 +77,28 @@ let pp_solver_stats fmt (s : Vdp_smt.Solver.stats) =
      else 100. *. float_of_int s.SS.gate_hits /. float_of_int gate_total)
     s.SS.learned_deleted s.SS.preprocess_time s.SS.blast_time s.SS.sat_time
 
+(** Certification summary: how each refuted suspect-path query was
+    discharged and whether the independent checkers accepted it. *)
+let pp_cert_summary fmt (c : Vdp_cert.Certificate.summary) =
+  let module C = Vdp_cert.Certificate in
+  Format.fprintf fmt
+    "certificates: %d/%d refutations certified (%d folded, %d interval, %d \
+     DRAT, %d by provenance); %d proof clauses, %d deletions; re-solve \
+     %.2fs, check %.2fs"
+    c.C.certified c.C.attempted c.C.folded c.C.interval c.C.drat c.C.cached
+    c.C.proof_clauses c.C.proof_deletions c.C.solve_seconds c.C.check_seconds;
+  if c.C.failed > 0 then begin
+    Format.fprintf fmt "@,  %d UNCERTIFIED" c.C.failed;
+    List.iter (fun m -> Format.fprintf fmt "@,    %s" m) c.C.failures
+  end
+
+let pp_cert_opt fmt = function
+  | None -> ()
+  | Some c -> Format.fprintf fmt "  %a@," pp_cert_summary c
+
 let pp_report fmt (r : Verifier.report) =
-  Format.fprintf fmt "@[<v>crash freedom: %a@,  %a@," pp_verdict
-    r.Verifier.verdict pp_stats r.Verifier.stats;
+  Format.fprintf fmt "@[<v>crash freedom: %a@,  %a@,%a" pp_verdict
+    r.Verifier.verdict pp_stats r.Verifier.stats pp_cert_opt r.Verifier.cert;
   (match r.Verifier.verdict with
   | Verifier.Violated vs -> List.iter (pp_violation fmt) vs
   | _ -> ());
@@ -99,7 +118,8 @@ let pp_bound_report fmt (r : Verifier.bound_report) =
   | Some { Witness.status = Witness.Unconfirmed why; _ } ->
     Format.fprintf fmt "@,  replay did not reproduce the bound: %s" why
   | _ -> ());
-  Format.fprintf fmt "@,  %a@," pp_stats r.Verifier.b_stats;
+  Format.fprintf fmt "@,  %a@,%a" pp_stats r.Verifier.b_stats pp_cert_opt
+    r.Verifier.b_cert;
   (match r.Verifier.witness with
   | Some pkt ->
     let shown =

@@ -73,6 +73,14 @@ type config = {
           Note: [max_composite_paths] is then enforced per subtree, so
           a parallel run may explore up to [jobs] times more composite
           states before giving up. *)
+  certify : bool;
+      (** produce and independently check a proof certificate for every
+          refuted suspect-path query ({!Vdp_cert.Certificate}); the
+          per-run summary lands in the report's [cert] field. A verdict
+          of [Proved] (or an exact bound) is only as trustworthy as its
+          refutations, so this is the knob that upgrades "the solver
+          said so" to "the solver said so and a separate checker agreed
+          on every answer". *)
 }
 
 let default_config =
@@ -87,6 +95,7 @@ let default_config =
     cache = true;
     preprocess = true;
     jobs = 1;
+    certify = false;
   }
 
 type violation = {
@@ -142,6 +151,8 @@ let fresh_stats () =
 type report = {
   verdict : verdict;
   stats : stats;
+  cert : Vdp_cert.Certificate.summary option;
+      (** certification summary when [config.certify] was on *)
 }
 
 (* {1 Shared plumbing} *)
@@ -225,6 +236,29 @@ let check_small step2 ~max_conflicts (st : Compose.t) =
         | Solver.Unsat | Solver.Unknown -> shrink rest)
     in
     shrink [ 16; 64; 128 ]
+
+(* Certification plumbing: one thread-safe collector per run when
+   [config.certify]; every [Unsat] suspect-path answer sends its refuted
+   conjunction through it. Only the outer, unbounded query ([st.cond])
+   is certified — the witness-shrinking retries in [check_small] run
+   only after a [Sat], and a [Sat] is vouched for by witness replay,
+   not by a proof. *)
+let make_cert cfg =
+  if cfg.certify then
+    Some
+      (Vdp_cert.Certificate.create_collector ~preprocess:cfg.preprocess
+         ~max_conflicts:cfg.solver_budget ())
+  else None
+
+let certify_refuted cert (st : Compose.t) =
+  match cert with
+  | None -> ()
+  | Some col ->
+    ignore
+      (Vdp_cert.Certificate.certify_refutation col st.Compose.cond
+        : (Vdp_cert.Certificate.t, string) result)
+
+let cert_summary cert = Option.map Vdp_cert.Certificate.summary cert
 
 let base_assumptions cfg =
   T.ule (T.var S.len_var 16)
@@ -368,12 +402,14 @@ let merge_counters into (from : stats) =
    over-approximation): only there do drop/emit segments need the
    per-path dip check, so headroom-safe pipelines pay nothing. *)
 let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
-    has_suspect danger ~(stats : stats) ~violations ~unknowns step2 =
+    has_suspect danger ~(stats : stats) ~violations ~unknowns ~cert step2 =
   let check_one ?outcome node (seg : Engine.segment) (st' : Compose.t) =
     stats.suspect_checks <- stats.suspect_checks + 1;
     enter step2 st';
     (match check_small step2 ~max_conflicts:cfg.solver_budget st' with
-    | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+    | Solver.Unsat ->
+      stats.refuted <- stats.refuted + 1;
+      certify_refuted cert st'
     | Solver.Unknown ->
       stats.unknown_checks <- stats.unknown_checks + 1;
       incr unknowns
@@ -502,6 +538,7 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
     report =
   with_jobs config @@ fun pool ->
   let stats = fresh_stats () in
+  let cert = make_cert config in
   let summaries = step1 ?pool config pl stats in
   let nodes = Click.Pipeline.nodes pl in
   let n = Array.length nodes in
@@ -585,7 +622,7 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
               let step2 = make_flat config in
               let check_one, _ =
                 crash_visitor config pl nodes summaries has_suspect danger
-                  ~stats:local ~violations ~unknowns step2
+                  ~stats:local ~violations ~unknowns ~cert step2
               in
               check_one ?outcome:cc_outcome cc_node cc_seg cc_st;
               false
@@ -594,7 +631,7 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
               seed step2 st;
               let _, visit =
                 crash_visitor config pl nodes summaries has_suspect danger
-                  ~stats:local ~violations ~unknowns step2
+                  ~stats:local ~violations ~unknowns ~cert step2
               in
               try visit node st; false with Path_budget -> true)
           in
@@ -612,7 +649,7 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
       let unknowns = ref 0 in
       let _, visit =
         crash_visitor config pl nodes summaries has_suspect danger ~stats
-          ~violations ~unknowns step2
+          ~violations ~unknowns ~cert step2
       in
       let budget_hit =
         try
@@ -636,7 +673,7 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
       Unknown "element symbolic execution was incomplete"
     else Proved
   in
-  { verdict; stats }
+  { verdict; stats; cert = cert_summary cert }
 
 (* {1 Bounded execution} *)
 
@@ -654,6 +691,7 @@ type bound_report = {
           state), when [config.replay] was on *)
   b_stats : stats;
   b_verdict : verdict;  (** Unknown if exploration was incomplete *)
+  b_cert : Vdp_cert.Certificate.summary option;
 }
 
 let rec atomic_max a v =
@@ -669,7 +707,7 @@ let rec atomic_max a v =
    it never loses the maximum, so the bound stays deterministic; which
    equal-length witness is kept (and the check count) may vary. *)
 let bound_visitor cfg nodes (summaries : Summaries.entry array)
-    ~(stats : stats) ~best ~hint ~unknown_hi ~completed step2 =
+    ~(stats : stats) ~best ~hint ~unknown_hi ~completed ~cert step2 =
   let record_unknown (st : Compose.t) =
     stats.unknown_checks <- stats.unknown_checks + 1;
     if st.Compose.instr_hi > !unknown_hi then unknown_hi := st.Compose.instr_hi
@@ -691,7 +729,9 @@ let bound_visitor cfg nodes (summaries : Summaries.entry array)
       | Solver.Sat model ->
         atomic_max hint st'.Compose.instr_hi;
         best := Some (st'.Compose.instr_hi, st', model)
-      | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+      | Solver.Unsat ->
+        stats.refuted <- stats.refuted + 1;
+        certify_refuted cert st'
       | Solver.Unknown -> record_unknown st');
       leave step2
     end
@@ -746,6 +786,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
     bound_report =
   with_jobs config @@ fun pool ->
   let stats = fresh_stats () in
+  let cert = make_cert config in
   let summaries = step1 ?pool config pl stats in
   let nodes = Click.Pipeline.nodes pl in
   let t0 = now () in
@@ -792,7 +833,9 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
                   | Solver.Sat model ->
                     atomic_max hint st.Compose.instr_hi;
                     best_l := Some (st.Compose.instr_hi, st, model)
-                  | Solver.Unsat -> local.refuted <- local.refuted + 1
+                  | Solver.Unsat ->
+                    local.refuted <- local.refuted + 1;
+                    certify_refuted cert st
                   | Solver.Unknown ->
                     local.unknown_checks <- local.unknown_checks + 1;
                     if st.Compose.instr_hi > !unknown_hi_l then
@@ -807,7 +850,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
               let _, _, visit =
                 bound_visitor config nodes summaries ~stats:local
                   ~best:best_l ~hint ~unknown_hi:unknown_hi_l
-                  ~completed:completed_l step2
+                  ~completed:completed_l ~cert step2
               in
               try visit node st; false with Path_budget -> true)
           in
@@ -843,7 +886,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
       let step2 = make_step2 config in
       let _, _, visit =
         bound_visitor config nodes summaries ~stats ~best ~hint ~unknown_hi
-          ~completed step2
+          ~completed ~cert step2
       in
       try
         let st0 = initial_state config in
@@ -873,6 +916,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
          | Solver.Sat model -> best := Some (st.Compose.instr_hi, st, model)
          | Solver.Unsat ->
            stats.refuted <- stats.refuted + 1;
+           certify_refuted cert st;
            search rest
          | Solver.Unknown ->
            stats.unknown_checks <- stats.unknown_checks + 1;
@@ -934,6 +978,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
     b_replayed;
     b_stats = stats;
     b_verdict = verdict;
+    b_cert = cert_summary cert;
   }
 
 (* {1 Reachability} *)
@@ -954,12 +999,14 @@ let expect_of_end = function
 (* The reachability DFS body. [check_end] expects the context to hold
    [st.cond] already (its caller entered the state). *)
 let reach_visitor cfg pl nodes (summaries : Summaries.entry array) ~bad
-    ~(stats : stats) ~violations ~unknowns step2 =
+    ~(stats : stats) ~violations ~unknowns ~cert step2 =
   let check_end node (st : Compose.t) outcome path_end =
     if bad path_end then begin
       stats.suspect_checks <- stats.suspect_checks + 1;
       match check_small step2 ~max_conflicts:cfg.solver_budget st with
-      | Solver.Unsat -> stats.refuted <- stats.refuted + 1
+      | Solver.Unsat ->
+        stats.refuted <- stats.refuted + 1;
+        certify_refuted cert st
       | Solver.Unknown ->
         stats.unknown_checks <- stats.unknown_checks + 1;
         incr unknowns
@@ -1056,6 +1103,7 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
     : report =
   with_jobs config @@ fun pool ->
   let stats = fresh_stats () in
+  let cert = make_cert config in
   let summaries = step1 ?pool config pl stats in
   let nodes = Click.Pipeline.nodes pl in
   let t0 = now () in
@@ -1082,7 +1130,7 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
               let step2 = make_flat config in
               let check_end, _ =
                 reach_visitor config pl nodes summaries ~bad ~stats:local
-                  ~violations ~unknowns step2
+                  ~violations ~unknowns ~cert step2
               in
               check_end rc_node rc_st rc_outcome rc_end;
               false
@@ -1091,7 +1139,7 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
               seed step2 st;
               let _, visit =
                 reach_visitor config pl nodes summaries ~bad ~stats:local
-                  ~violations ~unknowns step2
+                  ~violations ~unknowns ~cert step2
               in
               try visit node st; false with Path_budget -> true)
           in
@@ -1109,7 +1157,7 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
       let step2 = make_step2 config in
       let _, visit =
         reach_visitor config pl nodes summaries ~bad ~stats ~violations
-          ~unknowns step2
+          ~unknowns ~cert step2
       in
       let budget_hit =
         try
@@ -1131,4 +1179,4 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
       Unknown "element symbolic execution was incomplete"
     else Proved
   in
-  { verdict; stats }
+  { verdict; stats; cert = cert_summary cert }

@@ -27,8 +27,13 @@ type ctx = {
   mutable gate_misses : int;
 }
 
-let create () =
-  let sat = Sat.create () in
+(* [~proof] turns on DRAT logging in the underlying solver before the
+   constant-true unit is asserted, so the recorded CNF is complete;
+   [~reduce_interval] is forwarded to {!Sat.create} (certification tests
+   shrink it to force clause-database deletions into the proof). *)
+let create ?reduce_interval ?(proof = false) () =
+  let sat = Sat.create ?reduce_interval () in
+  if proof then Sat.enable_proof sat;
   let v = Sat.new_var sat in
   let true_lit = Sat.lit v true in
   Sat.add_clause sat [ true_lit ];

@@ -101,6 +101,31 @@ let atom_bound (t : Term.t) ~(positive : bool) : bound option =
 let point_value t =
   match range t with Some (lo, hi) when lo = hi -> Some lo | _ -> None
 
+(* {1 Refutation explanations}
+
+   [explain] runs the same analysis as {!refute} but records, per
+   subject, which atoms of the conjunction drove the interval empty, in
+   the order they applied. The result is a replayable script — not a
+   proof by authority: the independent checker in [Vdp_cert] re-derives
+   every step (atom membership in the raw conjunction, the bound each
+   atom implies, the endpoint each disequality shaves) with its own
+   pattern matching and range analysis, so a bug here yields a rejected
+   certificate, not a wrong verdict. *)
+
+type explain_step =
+  | X_bound of Term.t * int * int
+      (** atom implying [subject ∈ \[lo, hi\]], intersected in order *)
+  | X_shave of Term.t * int
+      (** disequality atom excluding value [n]; at replay time [n] must
+          be the current lower or upper endpoint (or the whole interval) *)
+
+type explanation =
+  | Ex_interval of { subject : Term.t; steps : explain_step list }
+      (** replaying [steps] against the subject's sound initial range
+          yields an empty interval *)
+  | Ex_diseq_points of Term.t
+      (** a disequality atom whose two sides are the same single value *)
+
 let refute (t : Term.t) : bool =
   if Term.is_false t then true
   else
@@ -176,3 +201,89 @@ let refute (t : Term.t) : bool =
         !diseqs
     done;
     !contradiction
+
+let explain (t : Term.t) : explanation option =
+  if Term.is_false t then None
+  else begin
+    let atoms = ref [] in
+    let rec collect (t : Term.t) =
+      match t.node with
+      | Term.And ts -> Array.iter collect ts
+      | _ -> atoms := t :: !atoms
+    in
+    collect t;
+    (* subject id -> (subject, lo, hi, applied steps newest first) *)
+    let tbl : (int, Term.t * int * int * explain_step list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let found = ref None in
+    let state_of (subject : Term.t) =
+      match Hashtbl.find_opt tbl subject.id with
+      | Some (_, lo, hi, steps) -> (lo, hi, steps)
+      | None -> (
+        match range subject with
+        | Some (lo, hi) -> (lo, hi, [])
+        | None -> (0, max_int, []))
+    in
+    let emit subject steps =
+      if !found = None then
+        found := Some (Ex_interval { subject; steps = List.rev steps })
+    in
+    let note atom { subject; lo; hi } =
+      let lo0, hi0, steps = state_of subject in
+      let lo' = max lo lo0 and hi' = min hi hi0 in
+      let steps = X_bound (atom, lo, hi) :: steps in
+      if lo' > hi' then emit subject steps
+      else Hashtbl.replace tbl subject.id (subject, lo', hi', steps)
+    in
+    let diseqs : (Term.t * Term.t * int) list ref = ref [] in
+    let note_diseq atom (a : Term.t) (b : Term.t) =
+      if Term.width a <= max_tracked_width then
+        match (point_value a, point_value b) with
+        | Some n, None -> diseqs := (atom, b, n) :: !diseqs
+        | None, Some n -> diseqs := (atom, a, n) :: !diseqs
+        | Some n, Some m ->
+          if n = m && !found = None then found := Some (Ex_diseq_points atom)
+        | None, None -> ()
+    in
+    List.iter
+      (fun atom ->
+        if !found = None then begin
+          let inner, positive =
+            match atom.Term.node with
+            | Term.Not inner -> (inner, false)
+            | _ -> (atom, true)
+          in
+          match (inner.Term.node, positive) with
+          | Term.Eq (a, b), false when not (Sort.is_bool (Term.sort a)) ->
+            note_diseq atom a b
+          | _ -> (
+            match atom_bound inner ~positive with
+            | Some b -> note atom b
+            | None -> ())
+        end)
+      !atoms;
+    let changed = ref true in
+    while !changed && !found = None do
+      changed := false;
+      List.iter
+        (fun ((atom : Term.t), (subject : Term.t), n) ->
+          if !found = None then begin
+            let lo, hi, steps = state_of subject in
+            if lo = n && hi = n then
+              emit subject (X_shave (atom, n) :: steps)
+            else if lo = n then begin
+              Hashtbl.replace tbl subject.id
+                (subject, lo + 1, hi, X_shave (atom, n) :: steps);
+              changed := true
+            end
+            else if hi = n then begin
+              Hashtbl.replace tbl subject.id
+                (subject, lo, hi - 1, X_shave (atom, n) :: steps);
+              changed := true
+            end
+          end)
+        !diseqs
+    done;
+    !found
+  end

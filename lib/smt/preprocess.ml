@@ -46,10 +46,29 @@ type binding =
   | Diseq of string * Term.t
       (** the variable takes [t]'s value + 1 (bv) / negation (bool) *)
 
+(* One entry per elimination, oldest first, carrying enough context for
+   an independent replay: the certificate checker ([Vdp_cert]) re-runs
+   every stage from the original conjunction, re-checking each stage's
+   side conditions (the dropped definition really is a conjunct, the
+   eliminated variable really occurs nowhere else, sliced components
+   really are disjoint) with its own pattern matching, and then demands
+   the replayed residual equals the one that was blasted. *)
+type trace_step =
+  | T_def of string * Term.t * Term.t
+      (** [T_def (x, rhs, c)]: conjunct [c] defined [x = rhs]; [c] was
+          dropped and [rhs] substituted for [x] everywhere else *)
+  | T_unconstrained of binding * Term.t
+      (** the conjunct was the only one mentioning the bound variable
+          and is satisfiable for every value of its other side *)
+  | T_slice of Term.t list
+      (** connected components, already satisfied by the all-defaults
+          model, dropped wholesale *)
+
 type result = {
   conjuncts : Term.t list;  (** residual conjuncts, preprocessed *)
   key : Term.t;  (** [Term.and_ conjuncts] — cache / refutation key *)
   bindings : binding list;  (** newest elimination first *)
+  trace : trace_step list;  (** elimination replay script, oldest first *)
   eliminated : int;  (** equality + unconstrained eliminations *)
   sliced : int;  (** conjuncts dropped by component slicing *)
 }
@@ -63,7 +82,7 @@ let split_list terms =
 let identity terms =
   let key = T.and_ terms in
   let conjuncts = split_list terms in
-  { conjuncts; key; bindings = []; eliminated = 0; sliced = 0 }
+  { conjuncts; key; bindings = []; trace = []; eliminated = 0; sliced = 0 }
 
 (* {1 Conjunct splitting} *)
 
@@ -225,7 +244,7 @@ let slice conjs =
       end
       else kept := c :: !kept)
     arr;
-  (List.rev !kept, List.length !dropped, !bindings)
+  (List.rev !kept, List.rev !dropped, !bindings)
 
 (* {1 The driver} *)
 
@@ -234,6 +253,7 @@ let max_rounds = 10_000
 let run terms : result =
   let conjs = ref (resplit (split_list terms)) in
   let bindings = ref [] in
+  let trace = ref [] in
   let eliminated = ref 0 in
   let contradiction () = List.exists T.is_false !conjs in
   (* Eliminate one definition at a time until none (or a contradiction)
@@ -248,14 +268,15 @@ let run terms : result =
       | [] -> None
       | c :: rest -> (
         match as_definition c with
-        | Some (n, rhs) -> Some (n, rhs, List.rev_append seen rest)
+        | Some (n, rhs) -> Some (n, rhs, c, List.rev_append seen rest)
         | None -> pick_def (c :: seen) rest)
     in
     (match pick_def [] !conjs with
-    | Some (n, rhs, rest) ->
+    | Some (n, rhs, c, rest) ->
       let subst v = if String.equal v n then Some rhs else None in
       conjs := resplit (List.map (T.substitute subst) rest);
       bindings := Def (n, rhs) :: !bindings;
+      trace := T_def (n, rhs, c) :: !trace;
       incr eliminated;
       changed := true
     | None ->
@@ -272,6 +293,7 @@ let run terms : result =
                one sweep on a stale count. *)
             List.iter (fun v -> Hashtbl.replace counts v max_int) (var_names c);
             bindings := b :: !bindings;
+            trace := T_unconstrained (b, c) :: !trace;
             incr eliminated;
             changed := true;
             drop_unconstrained rest
@@ -281,10 +303,11 @@ let run terms : result =
   done;
   if contradiction () then
     { conjuncts = [ T.fls ]; key = T.fls; bindings = !bindings;
-      eliminated = !eliminated; sliced = 0 }
+      trace = List.rev !trace; eliminated = !eliminated; sliced = 0 }
   else begin
-    let kept, sliced, slice_bindings = slice !conjs in
+    let kept, dropped, slice_bindings = slice !conjs in
     bindings := slice_bindings @ !bindings;
+    if dropped <> [] then trace := T_slice dropped :: !trace;
     let key = T.and_ kept in
     let conjuncts =
       match key.T.node with
@@ -292,7 +315,8 @@ let run terms : result =
       | T.True -> []
       | _ -> [ key ]
     in
-    { conjuncts; key; bindings = !bindings; eliminated = !eliminated; sliced }
+    { conjuncts; key; bindings = !bindings; trace = List.rev !trace;
+      eliminated = !eliminated; sliced = List.length dropped }
   end
 
 (* {1 Model completion}

@@ -41,6 +41,26 @@ type clause = {
          the next time propagation visits them *)
 }
 
+(* {1 DRAT proof logging}
+
+   When enabled, the solver records the problem clauses exactly as
+   asserted plus a step per clause-database mutation: every learned
+   clause (including units enqueued at level 0 and the empty clause on
+   a definitive Unsat) and every deletion performed by [reduce_db] or
+   [simplify]. The log is a standard forward DRAT trace that an
+   independent checker can validate against the recorded CNF; nothing
+   in this module checks it. Logging is off by default and costs one
+   [None] test per site when off. *)
+
+type proof_step = P_add of int array | P_delete of int array
+
+type proof = {
+  mutable steps_rev : proof_step list;
+  mutable orig_rev : int list list;  (* clauses as asserted, newest first *)
+  mutable nadds : int;
+  mutable ndeletes : int;
+}
+
 type t = {
   mutable nvars : int;
   mutable clauses : clause array;  (* arena; index = clause id *)
@@ -76,6 +96,8 @@ type t = {
   reduce_interval : int;           (* first reduction budget *)
   reduce_grow : int;
   mutable last_reduce : int;       (* [conflicts] at the last reduction *)
+  mutable problem_deleted : int;   (* cumulative, [simplify] only *)
+  mutable proof : proof option;    (* DRAT log, when enabled *)
 }
 
 let create ?(reduce_interval = 2000) () =
@@ -110,7 +132,43 @@ let create ?(reduce_interval = 2000) () =
     reduce_interval;
     reduce_grow = 300;
     last_reduce = 0;
+    problem_deleted = 0;
+    proof = None;
   }
+
+let enable_proof s =
+  if s.proof = None then
+    s.proof <- Some { steps_rev = []; orig_rev = []; nadds = 0; ndeletes = 0 }
+
+let proof_enabled s = s.proof <> None
+let proof_steps s =
+  match s.proof with None -> [] | Some p -> List.rev p.steps_rev
+
+let proof_cnf s =
+  match s.proof with None -> [] | Some p -> List.rev p.orig_rev
+
+let proof_sizes s =
+  match s.proof with None -> (0, 0) | Some p -> (p.nadds, p.ndeletes)
+
+let log_add s lits =
+  match s.proof with
+  | None -> ()
+  | Some p ->
+    p.steps_rev <- P_add (Array.of_list lits) :: p.steps_rev;
+    p.nadds <- p.nadds + 1
+
+let log_delete s (c : clause) =
+  match s.proof with
+  | None -> ()
+  | Some p ->
+    (* [lits] is reordered in place by the watch scheme; snapshot it. *)
+    p.steps_rev <- P_delete (Array.copy c.lits) :: p.steps_rev;
+    p.ndeletes <- p.ndeletes + 1
+
+let log_orig s lits =
+  match s.proof with
+  | None -> ()
+  | Some p -> p.orig_rev <- lits :: p.orig_rev
 
 let num_vars s = s.nvars
 let num_clauses s = s.nclauses
@@ -120,6 +178,7 @@ let num_propagations s = s.propagations
 let num_learned s = s.nlearned
 let num_problem_clauses s = s.nproblem
 let num_learned_deleted s = s.learned_deleted
+let num_problem_deleted s = s.problem_deleted
 let num_reductions s = s.reductions
 
 let grow_array arr n default =
@@ -303,16 +362,21 @@ and add_clause s lits =
        decisions from a previous [solve] first. *)
     backtrack s 0;
     let lits = List.sort_uniq Stdlib.compare lits in
+    log_orig s lits;
     let tautology =
       List.exists (fun l -> List.mem (lit_not l) lits) lits
     in
     let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
     if not (tautology || satisfied) then begin
-      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
-      match lits with
+      let kept = List.filter (fun l -> lit_value s l <> 0) lits in
+      (* Literals false at level 0 are dropped before storing; the
+         shortened clause is RUP w.r.t. the recorded CNF (the dropped
+         negations are root-propagated), so it goes into the proof. *)
+      if List.compare_lengths kept lits <> 0 then log_add s kept;
+      match kept with
       | [] -> s.unsat <- true
       | [ l ] -> enqueue s l (-1)
-      | _ -> ignore (add_clause_internal s (Array.of_list lits) false)
+      | _ -> ignore (add_clause_internal s (Array.of_list kept) false)
     end
   end
 
@@ -412,6 +476,7 @@ let reduce_db s =
   for i = 0 to (Array.length arr / 2) - 1 do
     let c = s.clauses.(arr.(i)) in
     c.deleted <- true;
+    log_delete s c;
     s.nlearned <- s.nlearned - 1;
     s.learned_deleted <- s.learned_deleted + 1
   done;
@@ -502,17 +567,23 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
             (* A level-0 conflict involves no assumptions: the clause
                database itself is unsatisfiable, permanently. *)
             s.unsat <- true;
+            log_add s [];
             status := Some Unsat
           end
           else begin
             let learned, btlevel = analyze s cid in
             backtrack s btlevel;
             (match learned with
-            | [ l ] -> enqueue s l (-1)
+            | [ l ] ->
+              log_add s [ l ];
+              enqueue s l (-1)
             | l :: _ ->
+              log_add s learned;
               let lid = add_clause_internal s (Array.of_list learned) true in
               enqueue s l lid
-            | [] -> status := Some Unsat);
+            | [] ->
+              log_add s [];
+              status := Some Unsat);
             var_decay s;
             cla_decay s;
             if
@@ -576,7 +647,10 @@ let value s v = s.assigns.(v) = 1
 let simplify s =
   if not s.unsat then begin
     backtrack s 0;
-    if propagate s >= 0 then s.unsat <- true
+    if propagate s >= 0 then begin
+      s.unsat <- true;
+      log_add s []
+    end
     else
       for cid = 0 to s.nclauses - 1 do
         let c = s.clauses.(cid) in
@@ -586,11 +660,15 @@ let simplify s =
           && Array.exists (fun l -> lit_value s l = 1) c.lits
         then begin
           c.deleted <- true;
+          log_delete s c;
           if c.learned then begin
             s.nlearned <- s.nlearned - 1;
             s.learned_deleted <- s.learned_deleted + 1
           end
-          else s.nproblem <- s.nproblem - 1
+          else begin
+            s.nproblem <- s.nproblem - 1;
+            s.problem_deleted <- s.problem_deleted + 1
+          end
         end
       done
   end

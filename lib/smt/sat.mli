@@ -71,4 +71,42 @@ val num_learned : t -> int
 val num_learned_deleted : t -> int
 (** Cumulative learned clauses deleted by database reduction. *)
 
+val num_problem_deleted : t -> int
+(** Cumulative problem clauses removed by {!simplify}. *)
+
 val num_reductions : t -> int
+
+(** {1 DRAT proof logging}
+
+    When enabled (before any clause is added), the solver records the
+    problem clauses exactly as asserted plus one step per clause-database
+    mutation: every learned clause — including units enqueued at level 0
+    and the empty clause when the database is refuted outright — and
+    every deletion performed by database reduction or {!simplify}. The
+    result is a forward DRAT trace over {!proof_cnf} that an independent
+    checker (see [Vdp_cert.Drat]) can validate; this module never checks
+    its own proofs.
+
+    A {!solve} under non-empty [assumptions] that answers [Unsat] does
+    {e not} derive the empty clause (the refutation is relative to the
+    assumptions), so such traces do not certify anything on their own;
+    certificate producers re-solve assumption-free. [Unknown] answers
+    likewise leave the trace without an empty clause, so a budget-starved
+    run can never be mistaken for a refutation. *)
+
+type proof_step =
+  | P_add of int array  (** learned (RUP) clause; [[||]] is the empty clause *)
+  | P_delete of int array  (** clause removed from the database *)
+
+val enable_proof : t -> unit
+val proof_enabled : t -> bool
+
+val proof_steps : t -> proof_step list
+(** Logged steps, oldest first; [[]] when logging is off. *)
+
+val proof_cnf : t -> int list list
+(** Problem clauses as asserted via {!add_clause} (after sort/dedup but
+    before any level-0 simplification), oldest first. *)
+
+val proof_sizes : t -> int * int
+(** [(additions, deletions)] logged so far. *)

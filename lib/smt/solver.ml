@@ -23,6 +23,20 @@ type stats = {
   mutable preprocess_time : float;
   mutable blast_time : float;
   mutable sat_time : float;
+  (* Certification counters, bumped by [Vdp_cert] (this module only
+     stores them so they ride the same stats/reset/reporting plumbing
+     as the solving counters). *)
+  mutable cert_attempted : int;
+  mutable cert_checked : int;
+  mutable cert_failed : int;
+  mutable cert_cached : int;
+  mutable cert_drat : int;
+  mutable cert_interval : int;
+  mutable cert_folded : int;
+  mutable cert_proof_clauses : int;
+  mutable cert_proof_deletions : int;
+  mutable cert_solve_time : float;
+  mutable cert_check_time : float;
 }
 
 let fresh_stats () =
@@ -46,6 +60,17 @@ let fresh_stats () =
     preprocess_time = 0.;
     blast_time = 0.;
     sat_time = 0.;
+    cert_attempted = 0;
+    cert_checked = 0;
+    cert_failed = 0;
+    cert_cached = 0;
+    cert_drat = 0;
+    cert_interval = 0;
+    cert_folded = 0;
+    cert_proof_clauses = 0;
+    cert_proof_deletions = 0;
+    cert_solve_time = 0.;
+    cert_check_time = 0.;
   }
 
 (* Process-wide aggregate, kept for compatibility: every context also
@@ -83,7 +108,18 @@ let reset_stats_record s =
   s.learned_deleted <- 0;
   s.preprocess_time <- 0.;
   s.blast_time <- 0.;
-  s.sat_time <- 0.
+  s.sat_time <- 0.;
+  s.cert_attempted <- 0;
+  s.cert_checked <- 0;
+  s.cert_failed <- 0;
+  s.cert_cached <- 0;
+  s.cert_drat <- 0;
+  s.cert_interval <- 0;
+  s.cert_folded <- 0;
+  s.cert_proof_clauses <- 0;
+  s.cert_proof_deletions <- 0;
+  s.cert_solve_time <- 0.;
+  s.cert_check_time <- 0.
 
 let reset_stats () = reset_stats_record stats
 

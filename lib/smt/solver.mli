@@ -50,6 +50,21 @@ type stats = {
   mutable preprocess_time : float;  (** wall seconds per phase... *)
   mutable blast_time : float;
   mutable sat_time : float;
+  mutable cert_attempted : int;
+      (** certification counters, bumped by [Vdp_cert]: refutations a
+          certificate was requested for *)
+  mutable cert_checked : int;  (** certificates independently validated *)
+  mutable cert_failed : int;  (** produced but rejected, or unproducible *)
+  mutable cert_cached : int;  (** discharged by provenance to a checked proof *)
+  mutable cert_drat : int;  (** discharged by a checked DRAT proof *)
+  mutable cert_interval : int;  (** discharged by interval-explanation replay *)
+  mutable cert_folded : int;  (** discharged by constant folding *)
+  mutable cert_proof_clauses : int;  (** DRAT clause additions logged *)
+  mutable cert_proof_deletions : int;  (** DRAT clause deletions logged *)
+  mutable cert_solve_time : float;
+      (** wall seconds re-blasting + re-solving to produce proofs *)
+  mutable cert_check_time : float;
+      (** wall seconds in the independent checker *)
 }
 
 val stats : stats

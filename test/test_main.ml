@@ -18,4 +18,5 @@ let () =
       ("parallel", Test_parallel.tests);
       ("replay", Test_replay.tests);
       ("preprocess", Test_preprocess.tests);
+      ("cert", Test_cert.tests);
     ]
