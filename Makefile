@@ -21,10 +21,15 @@ ci: build
 	dune exec bin/vdpverify.exe -- crash --certify examples/firewall.click
 	dune exec bin/vdpverify.exe -- replay examples/router.click
 	dune exec bin/vdpverify.exe -- replay examples/firewall.click
+	dune exec bin/vdpverify.exe -- replay --engine batched examples/router.click
+	dune exec bin/vdpverify.exe -- replay --engine compiled examples/router.click
+	dune exec bin/vdpverify.exe -- replay --engine compiled examples/firewall.click
+	dune exec bin/vdpverify.exe -- pump -n 20000 --engine compiled examples/router.click
 	dune exec bench/main.exe -- e1
 	dune exec bench/main.exe -- e8
 	VDP_E9_SMOKE=1 dune exec bench/main.exe -- e9
 	VDP_E10_SMOKE=1 dune exec bench/main.exe -- e10
+	VDP_E11_SMOKE=1 dune exec bench/main.exe -- e11
 
 clean:
 	dune clean

@@ -1261,6 +1261,159 @@ let e10 () =
   | None ->
     Printf.printf "no BENCH_e10_baseline.json; skipping regression check\n"
 
+(* {1 E11 — batched runtime and compiled fast-path throughput} *)
+
+(* Packets/sec on the evaluation pipelines, one run per engine. Each
+   engine gets a fresh instance and an identically seeded workload, so
+   store evolution is the same on every run — which lets the experiment
+   double as a differential check: aggregate stats (finals, instruction
+   totals, per-packet max) must agree bit for bit across engines.
+
+   The regression gate is on the compiled-vs-scalar speedup ratio, not
+   absolute pps, so the committed baseline is machine-independent. *)
+let e11 () =
+  section
+    "E11: packets/sec — scalar interpreter vs batched vs batched+compiled";
+  let smoke = Sys.getenv_opt "VDP_E11_SMOKE" <> None in
+  let count = if smoke then 5_000 else 200_000 in
+  let seed = 11 in
+  let pipelines =
+    [
+      ("ip-router (7 elements)", full_router ());
+      ("NetFlow+NAT", Click.Config.parse nat_config);
+    ]
+    @ List.filter_map
+        (fun path ->
+          if Sys.file_exists path then
+            Some (path, Click.Config.parse_file path)
+          else None)
+        [ "examples/firewall.click" ]
+  in
+  let engines = Click.Runtime.[ Scalar; Batched; Compiled ] in
+  Printf.printf "%d packets per run (seed %d)%s\n\n" count seed
+    (if smoke then " [smoke]" else "");
+  Printf.printf "%-24s %10s %12s %10s %9s\n" "pipeline" "engine" "pps"
+    "speedup" "time(s)";
+  let rows = ref [] in
+  let stats_diverged = ref false in
+  let best_speedup = ref 0. in
+  List.iter
+    (fun (name, pl) ->
+      let scalar_pps = ref 0. in
+      let scalar_stats = ref None in
+      (* A fixed template pool driven round-robin (steady state, no
+         allocation in the timed loop) rather than one list of [count]
+         packets: hundreds of MB of live packet buffers would make the
+         timings GC noise. Same pool and order per engine: identical
+         packets, so identical outcomes and store evolution are
+         required, not hoped for. *)
+      let templates =
+        Array.of_list (Gen.workload ~seed ~nflows:32 ~corrupt_ratio:0.1 1024)
+      in
+      List.iter
+        (fun engine ->
+          let inst = Click.Runtime.instantiate ~engine pl in
+          Gc.full_major ();
+          let st, dt =
+            time (fun () -> Click.Runtime.run_pool inst templates count)
+          in
+          let pps = if dt > 0. then float_of_int st.Click.Runtime.sent /. dt else 0. in
+          (match engine with
+          | Click.Runtime.Scalar ->
+            scalar_pps := pps;
+            scalar_stats := Some st
+          | _ -> ());
+          let speedup = if !scalar_pps > 0. then pps /. !scalar_pps else 1. in
+          (match engine with
+          | Click.Runtime.Compiled ->
+            if speedup > !best_speedup then best_speedup := speedup
+          | _ -> ());
+          let agree =
+            match !scalar_stats with
+            | None -> true
+            | Some s0 ->
+              s0.Click.Runtime.sent = st.Click.Runtime.sent
+              && s0.Click.Runtime.egressed = st.Click.Runtime.egressed
+              && s0.Click.Runtime.dropped = st.Click.Runtime.dropped
+              && s0.Click.Runtime.crashed = st.Click.Runtime.crashed
+              && s0.Click.Runtime.hop_budget = st.Click.Runtime.hop_budget
+              && s0.Click.Runtime.instrs = st.Click.Runtime.instrs
+              && s0.Click.Runtime.max_instrs = st.Click.Runtime.max_instrs
+          in
+          if not agree then begin
+            stats_diverged := true;
+            Printf.printf
+              "    DIVERGED: %s %s disagrees with scalar on aggregate stats\n"
+              name
+              (Click.Runtime.engine_name engine)
+          end;
+          Printf.printf "%-24s %10s %12.0f %9.1fx %9.2f%s\n%!" name
+            (Click.Runtime.engine_name engine)
+            pps speedup dt
+            (if agree then "" else "  [STATS DIVERGED]");
+          rows :=
+            Json.Obj
+              [
+                ("pipeline", Json.Str name);
+                ("engine", Json.Str (Click.Runtime.engine_name engine));
+                ("packets", Json.Int st.Click.Runtime.sent);
+                ("egressed", Json.Int st.Click.Runtime.egressed);
+                ("dropped", Json.Int st.Click.Runtime.dropped);
+                ("crashed", Json.Int st.Click.Runtime.crashed);
+                ("hop_budget", Json.Int st.Click.Runtime.hop_budget);
+                ("instrs", Json.Int st.Click.Runtime.instrs);
+                ("pps", Json.Float pps);
+                ("speedup_vs_scalar", Json.Float speedup);
+                ("seconds", Json.Float dt);
+                ("stats_match_scalar", Json.Bool agree);
+              ]
+            :: !rows)
+        engines)
+    pipelines;
+  record "runs" (Json.List (List.rev !rows));
+  record "packets_per_run" (Json.Int count);
+  record "seed" (Json.Int seed);
+  record "smoke" (Json.Bool smoke);
+  record "best_compiled_speedup" (Json.Float !best_speedup);
+  if !stats_diverged then begin
+    Printf.printf "\nE11 FAILED: engines disagreed on aggregate stats\n";
+    exit_code := 1
+  end;
+  (* Timing gates only outside smoke mode — 5k-packet smoke runs are
+     noise-dominated, but the cross-engine stats check above always
+     applies. *)
+  if not smoke then begin
+    if !best_speedup < 10. then begin
+      Printf.printf
+        "\nE11 FAILED: best compiled speedup %.1fx is below the 10x target\n"
+        !best_speedup;
+      exit_code := 1
+    end;
+    match
+      json_float_field "BENCH_e11_baseline.json" "best_compiled_speedup"
+    with
+    | Some baseline ->
+      let regressed = !best_speedup < 0.5 *. baseline in
+      record "baseline_speedup" (Json.Float baseline);
+      record "regressed" (Json.Bool regressed);
+      if regressed then begin
+        Printf.printf
+          "E11 FAILED: best compiled speedup %.1fx is less than half the \
+           baseline %.1fx\n"
+          !best_speedup baseline;
+        exit_code := 1
+      end
+      else
+        Printf.printf
+          "\nbest compiled speedup %.1fx (baseline %.1fx; no regression)\n"
+          !best_speedup baseline
+    | None ->
+      Printf.printf
+        "\nbest compiled speedup %.1fx; no BENCH_e11_baseline.json, \
+         skipping regression check\n"
+        !best_speedup
+  end
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -1345,7 +1498,7 @@ let micro () =
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
             "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8; "e9", e9;
-            "e10", e10; "micro", micro ]
+            "e10", e10; "e11", e11; "micro", micro ]
 
 let () =
   let requested =

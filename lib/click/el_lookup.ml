@@ -78,115 +78,152 @@ let static_ip_lookup routes =
   chain routes;
   Bld.finish b
 
-(** DIR-16-16: static store "lpm16" maps the top 16 bits to a route
-    word [port+1 | gw<<8], 0 = miss; store "lpm32" maps the full address
-    for longer prefixes, consulted only when the first word has its
-    spill bit (bit 40) set. Route words are 48 bits:
-    [spill(1) | gw(32) | port+1(8)] packed as gw*256 + code. *)
+(** DIR-16-8-8: static store "lpm16" maps the top 16 address bits to a
+    route word; "lpm24" maps the top 24 bits (prefixes /17–/24, and
+    /25–/31 expanded); "lpm32" maps the full address (/25–/32 expanded
+    into covered /32s — at most 128 per route). Route words are 48
+    bits, [spill(1) | gw(32) | port+1(8)] packed as gw*256 + code, 0 =
+    miss; the spill bit says a longer prefix may exist one level down,
+    and a deeper miss falls back to the shallower word. *)
 let route_word ~spill ~gw ~port =
   let w = (gw * 256) + (port + 1) in
   B.of_int ~width:48 (if spill then w lor (1 lsl 40) else w)
 
+let spill_mask = B.lognot (B.shl (B.one 48) 40)
+
 let radix_ip_lookup routes =
-  (* Expand <=16-bit prefixes over the top-16 table; longer prefixes get
-     exact-match entries per covered /32 — callers use them for host
-     routes. *)
-  let top = Hashtbl.create 1024 in
-  let long = Hashtbl.create 64 in
-  let sorted =
-    List.sort (fun r1 r2 -> Stdlib.compare r1.plen r2.plen) routes
+  (* Per-slot best route (longest prefix wins; later routes win ties)
+     computed independently of insertion order, one table per level. *)
+  let best : (int, route) Hashtbl.t array =
+    [| Hashtbl.create 1024; Hashtbl.create 256; Hashtbl.create 256 |]
   in
+  let keep level slot r =
+    match Hashtbl.find_opt best.(level) slot with
+    | Some r' when r'.plen > r.plen -> ()
+    | _ -> Hashtbl.replace best.(level) slot r
+  in
+  (* Spill flags are a separate pass over prefix lengths alone, so they
+     cannot be clobbered by whatever expansion ran last. *)
+  let spill16 = Hashtbl.create 64 and spill24 = Hashtbl.create 64 in
   List.iter
     (fun r ->
+      if r.plen < 0 || r.plen > 32 then
+        invalid_arg "RadixIPLookup: prefix length must be 0..32";
       if r.plen <= 16 then begin
-        let base = (r.prefix lsr 16) land 0xffff in
         let span = 1 lsl (16 - r.plen) in
-        let base = base land lnot (span - 1) in
+        let base = (r.prefix lsr 16) land 0xffff land lnot (span - 1) in
         for i = base to base + span - 1 do
-          Hashtbl.replace top i (r.gw, r.port, false)
+          keep 0 i r
+        done
+      end
+      else if r.plen <= 24 then begin
+        Hashtbl.replace spill16 ((r.prefix lsr 16) land 0xffff) ();
+        let span = 1 lsl (24 - r.plen) in
+        let base = (r.prefix lsr 8) land 0xffffff land lnot (span - 1) in
+        for i = base to base + span - 1 do
+          keep 1 i r
         done
       end
       else begin
-        if r.plen <> 32 then
-          invalid_arg "RadixIPLookup: prefixes must be <=16 or exactly 32";
-        Hashtbl.replace long r.prefix (r.gw, r.port);
-        let ti = (r.prefix lsr 16) land 0xffff in
-        let gw, port, _ =
-          match Hashtbl.find_opt top ti with
-          | Some entry -> entry
-          | None -> (0, -1, false)
-        in
-        Hashtbl.replace top ti (gw, port, true)
+        Hashtbl.replace spill16 ((r.prefix lsr 16) land 0xffff) ();
+        Hashtbl.replace spill24 ((r.prefix lsr 8) land 0xffffff) ();
+        let span = 1 lsl (32 - r.plen) in
+        let base = r.prefix land lnot (span - 1) in
+        for i = base to base + span - 1 do
+          keep 2 i r
+        done
       end)
-    sorted;
+    routes;
   let nports =
     List.fold_left (fun acc r -> max acc (r.port + 1)) 1 routes
   in
-  let top_init =
-    Hashtbl.fold
-      (fun k (gw, port, spill) acc ->
-        let word =
-          if port < 0 then route_word ~spill ~gw:0 ~port:(-1)
-          else route_word ~spill ~gw ~port
-        in
-        (B.of_int ~width:16 k, word) :: acc)
-      top []
+  (* Emit each level's entries, merging in spill bits; spill flags on
+     slots with no route of their own become spill-only entries
+     (code 0). *)
+  let entries level ~key_width spills =
+    let init = ref [] in
+    let add slot word = init := (B.of_int ~width:key_width slot, word) :: !init in
+    Hashtbl.iter
+      (fun slot (r : route) ->
+        add slot
+          (route_word ~spill:(Hashtbl.mem spills slot) ~gw:r.gw ~port:r.port))
+      best.(level);
+    Hashtbl.iter
+      (fun slot () ->
+        if not (Hashtbl.mem best.(level) slot) then
+          add slot (route_word ~spill:true ~gw:0 ~port:(-1)))
+      spills;
+    !init
   in
-  let long_init =
-    Hashtbl.fold
-      (fun k (gw, port) acc ->
-        (B.of_int ~width:32 k, route_word ~spill:false ~gw ~port) :: acc)
-      long []
-  in
+  let no_spill = Hashtbl.create 1 in
   let b = Bld.create ~name:"RadixIPLookup" in
   Bld.set_nports b nports;
-  Bld.declare_store b
-    {
-      Ir.store_name = "lpm16";
-      key_width = 16;
-      val_width = 48;
-      kind = Ir.Static;
-      default = B.zero 48;
-      init = top_init;
-    };
-  Bld.declare_store b
-    {
-      Ir.store_name = "lpm32";
-      key_width = 32;
-      val_width = 48;
-      kind = Ir.Static;
-      default = B.zero 48;
-      init = long_init;
-    };
+  List.iter (Bld.declare_store b)
+    [
+      {
+        Ir.store_name = "lpm16";
+        key_width = 16;
+        val_width = 48;
+        kind = Ir.Static;
+        default = B.zero 48;
+        init = entries 0 ~key_width:16 spill16;
+      };
+      {
+        Ir.store_name = "lpm24";
+        key_width = 24;
+        val_width = 48;
+        kind = Ir.Static;
+        default = B.zero 48;
+        init = entries 1 ~key_width:24 spill24;
+      };
+      {
+        Ir.store_name = "lpm32";
+        key_width = 32;
+        val_width = 48;
+        kind = Ir.Static;
+        default = B.zero 48;
+        init = entries 2 ~key_width:32 no_spill;
+      };
+    ];
   let dst = Bld.load b ~off:(c16 16) ~n:4 in
   let hi16 = Bld.extract b ~hi:31 ~lo:16 (Ir.Reg dst) in
-  let word = Bld.kv_read b ~store:"lpm16" ~key:(Ir.Reg hi16) ~val_width:48 in
-  (* Spill to the exact-match table? *)
-  let spill_bit = Bld.extract b ~hi:40 ~lo:40 (Ir.Reg word) in
-  let exact_blk = Bld.new_block b and decide_blk = Bld.new_block b in
+  let w16 = Bld.kv_read b ~store:"lpm16" ~key:(Ir.Reg hi16) ~val_width:48 in
   let final = Bld.reg b ~width:48 in
-  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg word)));
-  Bld.term b (Ir.Branch (Ir.Reg spill_bit, exact_blk, decide_blk));
-  Bld.select b exact_blk;
-  let word32 = Bld.kv_read b ~store:"lpm32" ~key:(Ir.Reg dst) ~val_width:48 in
-  (* Exact miss falls back to the top-level word (minus its spill bit). *)
-  let miss = Bld.cmp b Ir.Eq (Ir.Reg word32) (Ir.Const (B.zero 48)) in
-  let strip_spill =
-    Bld.assign b ~width:48
-      (Ir.Binop
-         (Ir.And, Ir.Reg word, Ir.Const (B.lognot (B.shl (B.one 48) 40))))
+  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg w16)));
+  let spill_bit16 = Bld.extract b ~hi:40 ~lo:40 (Ir.Reg w16) in
+  let l24_blk = Bld.new_block b and decide_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg spill_bit16, l24_blk, decide_blk));
+  (* Level 24: prefer its word when it has a route code; maybe descend. *)
+  Bld.select b l24_blk;
+  let hi24 = Bld.extract b ~hi:31 ~lo:8 (Ir.Reg dst) in
+  let w24 = Bld.kv_read b ~store:"lpm24" ~key:(Ir.Reg hi24) ~val_width:48 in
+  let code24 = Bld.extract b ~hi:7 ~lo:0 (Ir.Reg w24) in
+  let has24 = Bld.cmp b Ir.Ne (Ir.Reg code24) (c8 0) in
+  let pick24 =
+    Bld.select_val b ~width:48 (Ir.Reg has24) (Ir.Reg w24) (Ir.Reg final)
   in
-  let chosen =
-    Bld.select_val b ~width:48 (Ir.Reg miss) (Ir.Reg strip_spill)
-      (Ir.Reg word32)
+  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg pick24)));
+  let spill_bit24 = Bld.extract b ~hi:40 ~lo:40 (Ir.Reg w24) in
+  let l32_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg spill_bit24, l32_blk, decide_blk));
+  (* Level 32: exact /32 word wins; a miss keeps the shallower pick. *)
+  Bld.select b l32_blk;
+  let w32 = Bld.kv_read b ~store:"lpm32" ~key:(Ir.Reg dst) ~val_width:48 in
+  let has32 = Bld.cmp b Ir.Ne (Ir.Reg w32) (Ir.Const (B.zero 48)) in
+  let pick32 =
+    Bld.select_val b ~width:48 (Ir.Reg has32) (Ir.Reg w32) (Ir.Reg final)
   in
-  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg chosen)));
+  Bld.instr b (Ir.Assign (final, Ir.Move (Ir.Reg pick32)));
   Bld.term b (Ir.Goto decide_blk);
   Bld.select b decide_blk;
-  let code = Bld.extract b ~hi:7 ~lo:0 (Ir.Reg final) in
+  let clean =
+    Bld.assign b ~width:48
+      (Ir.Binop (Ir.And, Ir.Reg final, Ir.Const spill_mask))
+  in
+  let code = Bld.extract b ~hi:7 ~lo:0 (Ir.Reg clean) in
   let has_route = Bld.cmp b Ir.Ne (Ir.Reg code) (c8 0) in
   guard_or_drop b (Ir.Reg has_route);
-  let gw = Bld.extract b ~hi:39 ~lo:8 (Ir.Reg final) in
+  let gw = Bld.extract b ~hi:39 ~lo:8 (Ir.Reg clean) in
   Bld.instr b (Ir.Meta_set (Ir.W0, Ir.Reg gw));
   (* Dispatch on the port encoded in the route word. *)
   let rec dispatch p =

@@ -176,6 +176,8 @@ let final_to_string (run : Click.Runtime.run) =
     | Click.Runtime.Dropped_at n -> Printf.sprintf "drop at node %d" n
     | Click.Runtime.Crashed_at (n, c) ->
       Format.asprintf "crash at node %d (%a)" n Ir.pp_crash c
+    | Click.Runtime.Hop_budget_at n ->
+      Printf.sprintf "hop budget exceeded at node %d" n
   in
   Printf.sprintf "%s after %d instructions" base run.Click.Runtime.total_instrs
 
@@ -206,14 +208,15 @@ let divergence predicted (run : Click.Runtime.run) =
     packet (unless the caller already did), derive and load the initial
     private state the path depends on, push, and compare the concrete
     end against the claim. *)
-let replay ?packet ~max_len pl ~(model : Model.t) ~(st : Compose.t) ~expect =
+let replay ?packet ?engine ~max_len pl ~(model : Model.t) ~(st : Compose.t)
+    ~expect =
   let packet =
     match packet with
     | Some p -> p
     | None -> Compose.witness_packet model ~max_len
   in
   let state, notes = state_of_model pl model st in
-  let inst = Click.Runtime.instantiate pl in
+  let inst = Click.Runtime.instantiate ?engine pl in
   Click.Runtime.load_state inst state;
   let run =
     Click.Runtime.push ~in_port:packet.P.port inst (P.clone packet)
@@ -262,12 +265,12 @@ type session = {
   mutable approx_hops : int;
 }
 
-let create_session ?pool ?(config = Engine.default_config) pl =
+let create_session ?pool ?(config = Engine.default_config) ?engine pl =
   let summaries = Summaries.of_pipeline ?pool ~config pl in
   {
     pl;
     summaries;
-    concrete = Click.Runtime.instantiate pl;
+    concrete = Click.Runtime.instantiate ?engine pl;
     mirror = Click.Runtime.instantiate pl;
     max_len = config.Engine.max_len;
     packets = 0;
@@ -659,8 +662,8 @@ type fuzz_report = {
 (** Run the differential oracle over [count] fuzzed packets on a fresh
     session (stores evolve across the stream, so stateful elements see
     a history, not just single packets). *)
-let differential ?pool ?config ?(seed = 7) ?(count = 500) pl =
-  let session = create_session ?pool ?config pl in
+let differential ?pool ?config ?engine ?(seed = 7) ?(count = 500) pl =
+  let session = create_session ?pool ?config ?engine pl in
   let failures = ref [] in
   List.iteri
     (fun i pkt ->

@@ -28,7 +28,7 @@ let run ?(budget = default_budget) (prog : program) (stores : Stores.t)
   let value = function Const v -> v | Reg r -> regs.(r) in
   let value_int rv = B.to_int_trunc (value rv) in
   let bool_of rv = B.is_true (value rv) in
-  let eval_rhs dst_width rhs =
+  let eval_rhs rhs =
     match rhs with
     | Move v -> value v
     | Unop (Not, v) -> B.lognot (value v)
@@ -67,15 +67,22 @@ let run ?(budget = default_budget) (prog : program) (stores : Stores.t)
     | Extract (hi, lo, v) -> B.extract ~hi ~lo (value v)
     | Concat (a, b) -> B.concat (value a) (value b)
     | Zext (w, v) -> B.zext w (value v)
-    | Sext (w, v) ->
-      ignore dst_width;
-      B.sext w (value v)
+    | Sext (w, v) -> B.sext w (value v)
   in
   let exec_instr ins =
     incr count;
     if !count > budget then raise (Crash Budget_exhausted);
     match ins with
-    | Assign (r, rhs) -> regs.(r) <- eval_rhs prog.reg_widths.(r) rhs
+    | Assign (r, rhs) ->
+      let v = eval_rhs rhs in
+      (* Validated programs cannot trip this; it catches hand-built IR
+         with width bugs concretely, as the symbolic engine would. *)
+      if B.width v <> prog.reg_widths.(r) then
+        invalid_arg
+          (Printf.sprintf
+             "Interp: %s: assign produces width %d, r%d has width %d"
+             prog.name (B.width v) r prog.reg_widths.(r));
+      regs.(r) <- v
     | Load (r, off, n) -> (
       let o = value_int off in
       if o + n > P.length pkt then

@@ -19,4 +19,5 @@ let () =
       ("replay", Test_replay.tests);
       ("preprocess", Test_preprocess.tests);
       ("cert", Test_cert.tests);
+      ("batch", Test_batch.tests);
     ]
