@@ -30,6 +30,8 @@ ci: build
 	VDP_E9_SMOKE=1 dune exec bench/main.exe -- e9
 	VDP_E10_SMOKE=1 dune exec bench/main.exe -- e10
 	VDP_E11_SMOKE=1 dune exec bench/main.exe -- e11
+	VDP_E12_SMOKE=1 dune exec bench/main.exe -- e12
+	dune exec bin/vdpverify.exe -- delta examples/radix_router.click --add "198.51.100.0/24 1"
 
 clean:
 	dune clean

@@ -1414,6 +1414,247 @@ let e11 () =
         !best_speedup
   end
 
+(* {1 E12 — re-verification latency under config churn}
+
+   The paper's pitch is verification you can afford to re-run when the
+   configuration changes. This experiment builds a production-scale
+   (1M-prefix) FIB behind RadixIPLookup, proves the router crash-free,
+   then applies single route changes and measures how long the verifier
+   takes to produce the next verdict. Step-1 summaries and Step-2 query
+   cache entries are tagged with the static-state slices they read, so
+   a rule change invalidates only dependent entries — for the radix
+   element (whose table reads are symbolic in the address, hence
+   content-independent) that is {e nothing}, and re-verification is a
+   summary-cache probe returning the memoized verdict in milliseconds.
+
+   Gates: the 1M-entry tables must build in a few seconds (this part
+   runs in CI via VDP_E12_SMOKE=1); the array-backed DIR-16-8-8 store
+   must agree with the reference trie on randomized lookups; the
+   incremental verdict must equal the from-scratch one and arrive at
+   least 10x faster (regression-gated against BENCH_e12_baseline.json). *)
+
+let e12 () =
+  section "E12: re-verification latency after a route change (1M-entry FIB)";
+  let smoke = Sys.getenv_opt "VDP_E12_SMOKE" <> None in
+  (* Table size is overridable for experimentation; the gates below are
+     calibrated for (and CI runs at) the default 1M. *)
+  let nroutes =
+    match Sys.getenv_opt "VDP_E12_ROUTES" with
+    | Some s -> (try int_of_string s with _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let rng = Random.State.make [| 0xe12 |] in
+  let mask32 len =
+    if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+  in
+  let rand32 () =
+    ((Random.State.bits rng land 0xffff) lsl 16)
+    lor (Random.State.bits rng land 0xffff)
+  in
+  (* Internet-table-like prefix-length mix (BGP reports): /24 dominates,
+     mid lengths taper off toward /17, long prefixes are a small tail
+     concentrated at /28-/32. *)
+  let gen_plen () =
+    let r = Random.State.int rng 1000 in
+    if r < 10 then 8 + Random.State.int rng 8
+    else if r < 60 then 16
+    else if r < 65 then 17
+    else if r < 75 then 18
+    else if r < 95 then 19
+    else if r < 130 then 20
+    else if r < 170 then 21
+    else if r < 270 then 22
+    else if r < 370 then 23
+    else if r < 950 then 24
+    else if r < 960 then 25 + Random.State.int rng 3
+    else 28 + Random.State.int rng 5
+  in
+  let gen_route () =
+    let plen = gen_plen () in
+    {
+      Click.El_lookup.prefix = rand32 () land mask32 plen;
+      plen;
+      gw = 0;
+      port = Random.State.int rng 3;
+    }
+  in
+  let routes =
+    { Click.El_lookup.prefix = 0; plen = 0; gw = 0; port = 2 }
+    :: List.init nroutes (fun _ -> gen_route ())
+  in
+  (* Mutations from here on sweep the verification caches; empty them
+     so the millions of build-time slot writes sweep empty tables. *)
+  Summaries.clear ();
+  Vdp_verif.Staleness.reset_stats ();
+  (* 1M-entry builds: the standalone DIR-16-8-8 array store and the
+     element-level FIB (three shared static stores + ownership maps). *)
+  let triples =
+    List.map
+      (fun (r : Click.El_lookup.route) ->
+        (r.Click.El_lookup.prefix, r.Click.El_lookup.plen,
+         r.Click.El_lookup.port + 1))
+      routes
+  in
+  let dir, dir_dt = time (fun () -> Vdp_tables.Dir_lpm.of_routes triples) in
+  let fib, fib_dt =
+    time (fun () -> Click.El_lookup.Fib.create ~nports:3 routes)
+  in
+  let dir_slots = Vdp_tables.Dir_lpm.memory_slots dir in
+  Printf.printf
+    "build (%d routes): DIR-16-8-8 %.2fs (%d slots, ~%.0f MB), element FIB \
+     %.2fs (%d routes)\n"
+    (List.length routes) dir_dt dir_slots
+    (float_of_int (dir_slots * 9) /. 1e6)
+    fib_dt
+    (Click.El_lookup.Fib.count fib);
+  let build_budget = 8.0 in
+  if dir_dt > build_budget || fib_dt > build_budget then begin
+    Printf.printf "E12 FAILED: 1M-entry build exceeded %.0fs\n" build_budget;
+    exit_code := 1
+  end;
+  (* Randomized differential of the compact store against the reference
+     trie, on a deduplicated subset (the trie is pointer-fat at 1M). *)
+  let sub_n = 100_000 in
+  let dedup = Hashtbl.create sub_n in
+  List.iter
+    (fun (p, l, v) ->
+      if Hashtbl.length dedup < sub_n || Hashtbl.mem dedup (p, l) then
+        Hashtbl.replace dedup (p, l) v)
+    triples;
+  let sub = Hashtbl.fold (fun (p, l) v acc -> (p, l, v) :: acc) dedup [] in
+  let trie = Vdp_tables.Lpm.of_list sub in
+  let dir_sub = Vdp_tables.Dir_lpm.of_routes sub in
+  let nlookups = if smoke then 50_000 else 200_000 in
+  let mismatches = ref 0 in
+  for _ = 1 to nlookups do
+    let addr = rand32 () in
+    if Vdp_tables.Lpm.lookup trie addr <> Vdp_tables.Dir_lpm.lookup dir_sub addr
+    then incr mismatches
+  done;
+  Printf.printf "differential vs trie: %d lookups, %d mismatches\n" nlookups
+    !mismatches;
+  if !mismatches > 0 then begin
+    Printf.printf "E12 FAILED: DIR store disagrees with the reference trie\n";
+    exit_code := 1
+  end;
+  (* The router pipeline with the 1M-entry FIB behind RadixIPLookup. *)
+  let rt =
+    Click.Element.make ~name:"rt" ~cls:"RadixIPLookup"
+      ~config:[ Printf.sprintf "<%d routes>" (Click.El_lookup.Fib.count fib) ]
+      (Click.El_lookup.radix_program fib)
+  in
+  let elements =
+    List.map
+      (fun (e : Click.Element.t) ->
+        if e.Click.Element.name = "rt" then rt else e)
+      (router_elements ())
+  in
+  let pl = Click.Pipeline.linear elements in
+  let session = V.session pl in
+  let (r_cold, _), cold_dt = time (fun () -> V.verify_crash session) in
+  Printf.printf "initial verification: %s in %.2fs\n"
+    (verdict_str r_cold.V.verdict)
+    cold_dt;
+  (* Churn: single-route changes, each followed by re-verification. *)
+  Vdp_verif.Staleness.reset_stats ();
+  let rounds = if smoke then 3 else 10 in
+  let latencies = ref [] in
+  let verdicts_agree = ref true in
+  for i = 1 to rounds do
+    let prefix = rand32 () land mask32 24 in
+    if i mod 3 = 0 then
+      ignore (Click.El_lookup.Fib.delete fib ~prefix ~plen:24)
+    else
+      Click.El_lookup.Fib.insert fib
+        { Click.El_lookup.prefix; plen = 24; gw = 0; port = i mod 3 };
+    let (r, _reused), dt = time (fun () -> V.verify_crash session) in
+    latencies := dt :: !latencies;
+    if verdict_str r.V.verdict <> verdict_str r_cold.V.verdict then
+      verdicts_agree := false
+  done;
+  let lat = !latencies in
+  let lat_max = List.fold_left max 0. lat in
+  let lat_avg =
+    List.fold_left ( +. ) 0. lat /. float_of_int (List.length lat)
+  in
+  let st = Vdp_verif.Staleness.stats in
+  Printf.printf
+    "%d single-route changes: re-verify avg %.4fs, max %.4fs\n\
+     staleness: %d slot writes swept, %d summaries + %d cached queries \
+     invalidated\n"
+    rounds lat_avg lat_max st.Vdp_verif.Staleness.mutations
+    st.Vdp_verif.Staleness.summaries_dropped
+    st.Vdp_verif.Staleness.queries_dropped;
+  (* From-scratch comparison run: cold caches, same pipeline. *)
+  Summaries.clear ();
+  let r_scratch, scratch_dt =
+    time (fun () -> V.check_crash_freedom pl)
+  in
+  if verdict_str r_scratch.V.verdict <> verdict_str r_cold.V.verdict then
+    verdicts_agree := false;
+  let speedup = scratch_dt /. max lat_max 1e-6 in
+  Printf.printf
+    "from-scratch re-verification: %s in %.2fs -> incremental speedup %.0fx\n"
+    (verdict_str r_scratch.V.verdict)
+    scratch_dt speedup;
+  record "routes" (Json.Int (Click.El_lookup.Fib.count fib));
+  record "dir_build_seconds" (Json.Float dir_dt);
+  record "fib_build_seconds" (Json.Float fib_dt);
+  record "dir_slots" (Json.Int dir_slots);
+  record "differential_lookups" (Json.Int nlookups);
+  record "differential_mismatches" (Json.Int !mismatches);
+  record "cold_seconds" (Json.Float cold_dt);
+  record "churn_rounds" (Json.Int rounds);
+  record "incremental_seconds_avg" (Json.Float lat_avg);
+  record "incremental_seconds_max" (Json.Float lat_max);
+  record "scratch_seconds" (Json.Float scratch_dt);
+  record "incremental_speedup" (Json.Float speedup);
+  record "verdicts_match" (Json.Bool !verdicts_agree);
+  record "slot_writes" (Json.Int st.Vdp_verif.Staleness.mutations);
+  record "summaries_invalidated"
+    (Json.Int st.Vdp_verif.Staleness.summaries_dropped);
+  record "queries_invalidated"
+    (Json.Int st.Vdp_verif.Staleness.queries_dropped);
+  record "smoke" (Json.Bool smoke);
+  if not !verdicts_agree then begin
+    Printf.printf
+      "E12 FAILED: incremental and from-scratch verdicts disagree\n";
+    exit_code := 1
+  end;
+  if lat_max > 0.25 then begin
+    Printf.printf
+      "E12 FAILED: re-verification after 1 change took %.3fs (target: \
+       milliseconds)\n"
+      lat_max;
+    exit_code := 1
+  end;
+  if speedup < 10. then begin
+    Printf.printf
+      "E12 FAILED: incremental re-verification only %.1fx faster than \
+       from-scratch (need >= 10x)\n"
+      speedup;
+    exit_code := 1
+  end;
+  if not smoke then
+    match json_float_field "BENCH_e12_baseline.json" "incremental_speedup" with
+    | Some baseline ->
+      let regressed = speedup < 0.5 *. baseline in
+      record "baseline_speedup" (Json.Float baseline);
+      record "regressed" (Json.Bool regressed);
+      if regressed then begin
+        Printf.printf
+          "E12 FAILED: incremental speedup %.0fx is less than half the \
+           baseline %.0fx\n"
+          speedup baseline;
+        exit_code := 1
+      end
+      else
+        Printf.printf "no regression vs baseline (%.0fx >= half of %.0fx)\n"
+          speedup baseline
+    | None ->
+      Printf.printf
+        "no BENCH_e12_baseline.json; skipping regression check\n"
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -1498,7 +1739,7 @@ let micro () =
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
             "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8; "e9", e9;
-            "e10", e10; "e11", e11; "micro", micro ]
+            "e10", e10; "e11", e11; "e12", e12; "micro", micro ]
 
 let () =
   let requested =

@@ -1,0 +1,24 @@
+// The IP-router pipeline with the array-backed (DIR-16-8-8) route
+// table instead of the compiled compare/branch chain. The table is
+// shared, mutable static state: verify, change a route, re-verify —
+// only the work that the change can influence is redone.
+//   dune exec bin/vdpverify.exe -- crash examples/radix_router.click
+//   dune exec bin/vdpverify.exe -- delta --add "172.16.0.0/12 1" examples/radix_router.click
+
+cl :: Classifier(12/0800, -);
+strip :: Strip(14);
+chk :: CheckIPHeader;
+opts :: IPGWOptions(9.9.9.1);
+rt :: RadixIPLookup(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+ttl :: DecIPTTL;
+out :: EtherEncap(2048, 02:00:00:00:00:01, 02:00:00:00:00:02);
+
+cl[0] -> strip -> chk -> opts -> ttl -> rt;
+rt[0] -> out;
+rt[1] -> out;
+rt[2] -> out;
+
+cl[1] -> Discard;
+chk[1] -> Discard;
+opts[1] -> Discard;
+ttl[1] -> Discard;

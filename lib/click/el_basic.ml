@@ -16,14 +16,8 @@ let discard () =
 let counter () =
   let b = Bld.create ~name:"Counter" in
   Bld.declare_store b
-    {
-      Ir.store_name = "counter";
-      key_width = 8;
-      val_width = 64;
-      kind = Ir.Private;
-      default = B.zero 64;
-      init = [];
-    };
+    (Ir.store ~name:"counter" ~key_width:8 ~val_width:64 ~kind:Ir.Private
+       ~default:(B.zero 64) ());
   let pkts = Bld.kv_read b ~store:"counter" ~key:(c8 0) ~val_width:64 in
   let pkts' =
     Bld.assign b ~width:64

@@ -74,14 +74,8 @@ let buggy_quota ~quota =
 let buggy_counter () =
   let b = Bld.create ~name:"BuggyCounter" in
   Bld.declare_store b
-    {
-      Ir.store_name = "c8";
-      key_width = 1;
-      val_width = 8;
-      kind = Ir.Private;
-      default = B.zero 8;
-      init = [];
-    };
+    (Ir.store ~name:"c8" ~key_width:1 ~val_width:8 ~kind:Ir.Private
+       ~default:(B.zero 8) ());
   let n = Bld.kv_read b ~store:"c8" ~key:(c1 false) ~val_width:8 in
   let not_max = Bld.cmp b Ir.Ne (Ir.Reg n) (c8 0xff) in
   Bld.instr b (Ir.Assert (Ir.Reg not_max, "packet counter overflow"));

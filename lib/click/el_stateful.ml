@@ -42,14 +42,8 @@ let flow_key b ~hlen =
 let flow_counter () =
   let b = Bld.create ~name:"FlowCounter" in
   Bld.declare_store b
-    {
-      Ir.store_name = "flows";
-      key_width = 104;
-      val_width = 32;
-      kind = Ir.Private;
-      default = B.zero 32;
-      init = [];
-    };
+    (Ir.store ~name:"flows" ~key_width:104 ~val_width:32 ~kind:Ir.Private
+       ~default:(B.zero 32) ());
   let proto = Bld.load b ~off:(c16 9) ~n:1 in
   let is_tcp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 6) in
   let is_udp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 17) in
@@ -85,23 +79,12 @@ let ip_rewriter ~public_ip =
   let b = Bld.create ~name:"IPRewriter" in
   Bld.set_nports b 2;
   Bld.declare_store b
-    {
-      Ir.store_name = "nat_map";
-      key_width = 48;
-      val_width = 16;
-      kind = Ir.Private;
-      default = B.zero 16;
-      init = [];
-    };
+    (Ir.store ~name:"nat_map" ~key_width:48 ~val_width:16 ~kind:Ir.Private
+       ~default:(B.zero 16) ());
   Bld.declare_store b
-    {
-      Ir.store_name = "nat_next";
-      key_width = 1;
-      val_width = 16;
-      kind = Ir.Private;
-      default = B.zero 16;
-      init = [ (B.zero 1, B.of_int ~width:16 1024) ];
-    };
+    (Ir.store ~name:"nat_next" ~key_width:1 ~val_width:16 ~kind:Ir.Private
+       ~default:(B.zero 16)
+       ~init:[ (B.zero 1, B.of_int ~width:16 1024) ] ());
   let proto = Bld.load b ~off:(c16 9) ~n:1 in
   let is_tcp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 6) in
   let is_udp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 17) in

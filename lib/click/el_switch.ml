@@ -74,14 +74,8 @@ let round_robin_switch ~nports =
   let b = Bld.create ~name:"RoundRobinSwitch" in
   Bld.set_nports b nports;
   Bld.declare_store b
-    {
-      Ir.store_name = "rr";
-      key_width = 1;
-      val_width = 16;
-      kind = Ir.Private;
-      default = B.zero 16;
-      init = [];
-    };
+    (Ir.store ~name:"rr" ~key_width:1 ~val_width:16 ~kind:Ir.Private
+       ~default:(B.zero 16) ());
   let cur = Bld.kv_read b ~store:"rr" ~key:(c1 false) ~val_width:16 in
   let nxt =
     Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg cur, c16 1))

@@ -21,8 +21,31 @@ let nports e = e.program.Vdp_ir.Types.nports
 
 (** Key used to share Step-1 summaries between identical elements: two
     instances of the same class with the same config have the same
-    program, hence the same segments. *)
-let summary_key e = e.cls ^ "(" ^ String.concat "," e.config ^ ")"
+    program, hence the same segments.
+
+    Two refinements for production-scale mutable state: a giant config
+    (e.g. a 1M-route FIB) is digested rather than concatenated, and an
+    element owning [Static] stores gets their {!Vdp_ir.Static_data} ids
+    appended — those contents can mutate independently per instance, so
+    instances must not share summaries even when configs coincide. *)
+let summary_key e =
+  let cfg = String.concat "," e.config in
+  let cfg =
+    if String.length cfg > 160 then Digest.to_hex (Digest.string cfg) else cfg
+  in
+  let static_ids =
+    List.filter_map
+      (fun (d : Vdp_ir.Types.store_decl) ->
+        match d.kind with
+        | Vdp_ir.Types.Static ->
+          Some (string_of_int (Vdp_ir.Static_data.id d.init))
+        | Vdp_ir.Types.Private -> None)
+      e.program.Vdp_ir.Types.stores
+  in
+  let sid =
+    match static_ids with [] -> "" | l -> "#" ^ String.concat "," l
+  in
+  e.cls ^ "(" ^ cfg ^ ")" ^ sid
 
 let pp fmt e =
   Format.fprintf fmt "%s :: %s(%s)" e.name e.cls (String.concat ", " e.config)

@@ -54,6 +54,11 @@ type t = {
           budget ([headroom + min_delta < 0]): the concrete runtime
           would crash with [Headroom_exhausted] on this path even
           though the element-local summary did not. *)
+  static_deps : (int * B.t) list;
+      (** union of the static-state slices ({!Vdp_ir.Static_data} id,
+          concrete key) baked into the segments applied so far — the
+          tag a Step-2 query-cache entry built from this state carries,
+          so a rule change invalidates exactly the dependent entries *)
 }
 
 let initial ?(assume = []) ?(headroom = Vdp_packet.Packet.default_headroom) ()
@@ -72,6 +77,7 @@ let initial ?(assume = []) ?(headroom = Vdp_packet.Packet.default_headroom) ()
     trail = [];
     headroom;
     headroom_short = false;
+    static_deps = [];
   }
 
 (** Byte [j] of the current window as a term over original inputs. *)
@@ -128,8 +134,10 @@ let import st ~tag =
   fun term -> T.substitute_vars ~memo lookup term
 
 (** Apply a segment summary at pipeline position [tag]; returns the
-    state {e after} the segment (meaningful when its outcome emits). *)
-let apply st ~tag (seg : Engine.segment) =
+    state {e after} the segment (meaningful when its outcome emits).
+    [deps] is the element's static-state slice list (from its
+    {!Engine.result}), unioned into the composite state. *)
+let apply ?(deps = []) st ~tag (seg : Engine.segment) =
   let xf = import st ~tag in
   let out = seg.Engine.out_state in
   let delta = out.Engine.head_delta in
@@ -192,6 +200,17 @@ let apply st ~tag (seg : Engine.segment) =
     trail = tag :: st.trail;
     headroom = st.headroom + delta;
     headroom_short = st.headroom + out.Engine.min_delta < 0;
+    static_deps =
+      (let fresh =
+         List.filter
+           (fun (sid, k) ->
+             not
+               (List.exists
+                  (fun (sid', k') -> sid = sid' && B.equal k k')
+                  st.static_deps))
+           deps
+       in
+       fresh @ st.static_deps);
   }
 
 (** Cheap infeasibility filter for pruning during path enumeration. *)

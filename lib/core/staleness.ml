@@ -1,0 +1,70 @@
+(** Wires static-store mutations to cache invalidation.
+
+    Verification caches bake in the static state they read: Step-1
+    segment summaries record the ({!Vdp_ir.Static_data} id, key) slices
+    their concrete reads observed ({!Vdp_symbex.Engine.result}
+    [static_deps]), and Step-2 query-cache entries are tagged with the
+    union of the applied segments' slices ({!Compose.t} [static_deps]).
+    This module installs one {!Vdp_ir.Static_data} listener that, on
+    every [set]/[remove], drops exactly the dependent entries from
+    every live summary cache and every tracked solver query cache —
+    so re-verifying after a one-rule change re-does only the work that
+    rule can influence.
+
+    [install] is idempotent and called from every verifier entry point;
+    call it yourself before mutating stores if you drive {!Summaries}
+    or the solver caches directly. *)
+
+module Sdata = Vdp_ir.Static_data
+module Solver = Vdp_smt.Solver
+
+type stats = {
+  mutable mutations : int;  (** store mutations observed *)
+  mutable summaries_dropped : int;  (** Step-1 entries invalidated *)
+  mutable queries_dropped : int;  (** Step-2 query-cache entries invalidated *)
+}
+
+let stats = { mutations = 0; summaries_dropped = 0; queries_dropped = 0 }
+
+let reset_stats () =
+  stats.mutations <- 0;
+  stats.summaries_dropped <- 0;
+  stats.queries_dropped <- 0
+
+let lock = Mutex.create ()
+
+(* Solver caches swept on mutation. The shared cache is always
+   tracked; per-run private caches opt in via [track_solver_cache]. *)
+let solver_caches : Solver.Cache.t list ref = ref [ Solver.shared_cache ]
+
+let track_solver_cache c =
+  Mutex.lock lock;
+  if not (List.memq c !solver_caches) then
+    solver_caches := c :: !solver_caches;
+  Mutex.unlock lock
+
+let on_mutation data key =
+  let sid = Sdata.id data in
+  let dropped_summaries = Summaries.invalidate_static_all ~sid ~key in
+  Mutex.lock lock;
+  let caches = !solver_caches in
+  Mutex.unlock lock;
+  let dropped_queries =
+    List.fold_left
+      (fun acc c -> acc + Solver.Cache.invalidate_static c ~sid ~key)
+      0 caches
+  in
+  Mutex.lock lock;
+  stats.mutations <- stats.mutations + 1;
+  stats.summaries_dropped <- stats.summaries_dropped + dropped_summaries;
+  stats.queries_dropped <- stats.queries_dropped + dropped_queries;
+  Mutex.unlock lock
+
+let installed = ref false
+
+let install () =
+  Mutex.lock lock;
+  let first = not !installed in
+  installed := true;
+  Mutex.unlock lock;
+  if first then Sdata.add_listener on_mutation

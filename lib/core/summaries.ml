@@ -12,6 +12,7 @@
     re-entrant or interleaved [summarize] could double-run symbex
     between the unguarded lookup and insert. *)
 
+module B = Vdp_bitvec.Bitvec
 module Engine = Vdp_symbex.Engine
 module Element = Vdp_click.Element
 
@@ -25,20 +26,77 @@ type cache = {
   lock : Mutex.t;
   ready : Condition.t;  (* signalled when an in-flight key lands *)
   in_flight : (string, unit) Hashtbl.t;
+  mutable epoch : int;
+      (* bumped by every static-state invalidation sweep; an in-flight
+         symbex that straddles a sweep must not land a possibly-mixed
+         entry (it read contents both before and after the mutation) *)
+  mutable invalidated : int;  (* entries dropped by invalidation *)
 }
 
+(* Every cache ever created, so a store mutation can sweep them all;
+   caches are few and long-lived. *)
+let all_caches : cache list ref = ref []
+let all_caches_lock = Mutex.create ()
+
 let create_cache () : cache =
-  {
-    tbl = Hashtbl.create 32;
-    lock = Mutex.create ();
-    ready = Condition.create ();
-    in_flight = Hashtbl.create 4;
-  }
+  let c =
+    {
+      tbl = Hashtbl.create 32;
+      lock = Mutex.create ();
+      ready = Condition.create ();
+      in_flight = Hashtbl.create 4;
+      epoch = 0;
+      invalidated = 0;
+    }
+  in
+  Mutex.lock all_caches_lock;
+  all_caches := c :: !all_caches;
+  Mutex.unlock all_caches_lock;
+  c
 
 (* The default, process-wide cache. Callers that need isolation pass
    their own [~cache] instead of mutating this one; each cache carries
    its own lock, so isolation keeps working under parallelism. *)
 let cache : cache = create_cache ()
+
+(* Drop the entries whose segments baked in the mutated (store, key)
+   slice — the element re-symbexes against current contents on its next
+   [summarize]. Always bumps the epoch: a sweep means contents changed,
+   and any in-flight computation may have observed both versions. *)
+let invalidate_static ?(cache = cache) ~sid ~key () =
+  Mutex.lock cache.lock;
+  cache.epoch <- cache.epoch + 1;
+  let victims =
+    Hashtbl.fold
+      (fun k (e : entry) acc ->
+        if
+          List.exists
+            (fun (sid', k') -> sid' = sid && B.equal k' key)
+            e.result.Engine.static_deps
+        then k :: acc
+        else acc)
+      cache.tbl []
+  in
+  List.iter (Hashtbl.remove cache.tbl) victims;
+  let n = List.length victims in
+  cache.invalidated <- cache.invalidated + n;
+  Mutex.unlock cache.lock;
+  n
+
+(* Sweep every live cache; returns total entries dropped. *)
+let invalidate_static_all ~sid ~key =
+  Mutex.lock all_caches_lock;
+  let caches = !all_caches in
+  Mutex.unlock all_caches_lock;
+  List.fold_left
+    (fun acc c -> acc + invalidate_static ~cache:c ~sid ~key ())
+    0 caches
+
+let invalidations ?(cache = cache) () =
+  Mutex.lock cache.lock;
+  let n = cache.invalidated in
+  Mutex.unlock cache.lock;
+  n
 
 let clear ?(cache = cache) () =
   Mutex.lock cache.lock;
@@ -73,7 +131,11 @@ let summarize ?(cache = cache) ?(config = Engine.default_config)
       end
       else begin
         Hashtbl.add cache.in_flight key ();
+        let epoch0 = cache.epoch in
         Mutex.unlock cache.lock;
+        (* Any exception below must clear the in-flight marker and wake
+           the waiters, or they would block forever on a key nobody is
+           computing anymore. *)
         let entry =
           try compute ()
           with exn ->
@@ -85,10 +147,22 @@ let summarize ?(cache = cache) ?(config = Engine.default_config)
         in
         Mutex.lock cache.lock;
         Hashtbl.remove cache.in_flight key;
-        Hashtbl.replace cache.tbl key entry;
-        Condition.broadcast cache.ready;
-        Mutex.unlock cache.lock;
-        entry
+        (* If an invalidation sweep ran while we were symbexing and the
+           result read static state, the entry may mix pre- and
+           post-mutation contents: don't land it, recompute. (Mutations
+           are documented to be serialised against verification, so
+           this loop settles immediately in practice.) *)
+        if cache.epoch <> epoch0 && entry.result.Engine.static_deps <> []
+        then begin
+          Condition.broadcast cache.ready;
+          obtain ()
+        end
+        else begin
+          Hashtbl.replace cache.tbl key entry;
+          Condition.broadcast cache.ready;
+          Mutex.unlock cache.lock;
+          entry
+        end
       end
   in
   obtain ()

@@ -204,15 +204,17 @@ let seed step2 (st : Compose.t) =
 (* Check feasibility of [st.cond @ extra]. Incremental-mode invariant:
    the context currently holds [st.cond]. *)
 let check_state step2 ~max_conflicts (st : Compose.t) extra =
+  let deps = st.Compose.static_deps in
   match step2 with
   | Flat (cache, preprocess) ->
-    Solver.check ?cache ~preprocess ~max_conflicts (extra @ st.Compose.cond)
+    Solver.check ?cache ~deps ~preprocess ~max_conflicts
+      (extra @ st.Compose.cond)
   | Incremental c ->
-    if extra = [] then Solver.check_ctx ~max_conflicts c
+    if extra = [] then Solver.check_ctx ~deps ~max_conflicts c
     else begin
       Solver.push c;
       Solver.assert_terms c extra;
-      let r = Solver.check_ctx ~max_conflicts c in
+      let r = Solver.check_ctx ~deps ~max_conflicts c in
       Solver.pop c;
       r
     end
@@ -272,6 +274,9 @@ let initial_state cfg =
     ~headroom:cfg.engine.Engine.headroom ()
 
 let step1 ?pool cfg (pl : Click.Pipeline.t) stats =
+  (* From here on, static-store mutations must invalidate the caches
+     the run is about to populate. *)
+  Staleness.install ();
   let t0 = now () in
   let before = Summaries.size () in
   let summaries = Summaries.of_pipeline ?pool ~config:cfg.engine pl in
@@ -441,11 +446,12 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
     if stats.composite_paths > cfg.max_composite_paths then
       raise Path_budget;
     let tag = Printf.sprintf "n%d" node in
+    let deps = summaries.(node).Summaries.result.Engine.static_deps in
     List.iter
       (fun (seg : Engine.segment) ->
         match seg.Engine.outcome with
         | Engine.O_crash _ ->
-          let st' = Compose.apply st ~tag seg in
+          let st' = Compose.apply ~deps st ~tag seg in
           let outcome =
             if st'.Compose.headroom_short then
               Some (Engine.O_crash Engine.C_headroom)
@@ -454,7 +460,7 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
           check_one ?outcome node seg st'
         | Engine.O_drop ->
           if danger.(node) then begin
-            let st' = Compose.apply st ~tag seg in
+            let st' = Compose.apply ~deps st ~tag seg in
             if st'.Compose.headroom_short then
               check_one ~outcome:(Engine.O_crash Engine.C_headroom) node seg
                 st'
@@ -466,7 +472,7 @@ let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
             | _ -> None
           in
           if danger.(node) || dst <> None then
-            let st' = Compose.apply st ~tag seg in
+            let st' = Compose.apply ~deps st ~tag seg in
             if st'.Compose.headroom_short then
               (* The runtime crashes mid-segment; nothing runs behind
                  this element on such a path, so do not descend. *)
@@ -497,6 +503,7 @@ type crash_check = {
 let crash_expand nodes (summaries : Summaries.entry array) has_suspect danger
     node st =
   let tag = Printf.sprintf "n%d" node in
+  let deps = summaries.(node).Summaries.result.Engine.static_deps in
   let hr_check seg st' =
     [ W_check
         { cc_node = node; cc_seg = seg; cc_st = st';
@@ -506,7 +513,7 @@ let crash_expand nodes (summaries : Summaries.entry array) has_suspect danger
     (fun (seg : Engine.segment) ->
       match seg.Engine.outcome with
       | Engine.O_crash _ ->
-        let st' = Compose.apply st ~tag seg in
+        let st' = Compose.apply ~deps st ~tag seg in
         if st'.Compose.headroom_short then hr_check seg st'
         else
           [ W_check
@@ -514,7 +521,7 @@ let crash_expand nodes (summaries : Summaries.entry array) has_suspect danger
                 cc_outcome = None } ]
       | Engine.O_drop ->
         if danger.(node) then begin
-          let st' = Compose.apply st ~tag seg in
+          let st' = Compose.apply ~deps st ~tag seg in
           if st'.Compose.headroom_short then hr_check seg st' else []
         end
         else []
@@ -525,7 +532,7 @@ let crash_expand nodes (summaries : Summaries.entry array) has_suspect danger
           | _ -> None
         in
         if danger.(node) || dst <> None then
-          let st' = Compose.apply st ~tag seg in
+          let st' = Compose.apply ~deps st ~tag seg in
           if st'.Compose.headroom_short then hr_check seg st'
           else
             match dst with
@@ -675,6 +682,50 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
   in
   { verdict; stats; cert = cert_summary cert }
 
+(* {1 Incremental (delta) re-verification}
+
+   A [session] memoizes the last crash-freedom report for one pipeline
+   and re-validates it by probing the Step-1 summary cache: the report
+   is a deterministic function of the element summaries (plus config),
+   so if every summary entry comes back {e physically} unchanged — i.e.
+   no static-store mutation invalidated any of them since the last run
+   — the previous [Proved] verdict still holds and is returned without
+   re-composing or re-solving anything. A mutation that does invalidate
+   a summary makes the probe recompute exactly that element; the
+   mismatch then triggers a full (but cache-warm) re-verification.
+   Non-[Proved] reports are never reused: a violation's witness is
+   replayed against {e current} store contents, so its confirmation
+   status must be recomputed. *)
+
+type session = {
+  s_pl : Click.Pipeline.t;
+  s_config : config;
+  mutable s_prev : (Summaries.entry array * report) option;
+}
+
+let session ?(config = default_config) pl =
+  Staleness.install ();
+  { s_pl = pl; s_config = config; s_prev = None }
+
+let verify_crash (s : session) : report * bool =
+  let probe () = Summaries.of_pipeline ~config:s.s_config.engine s.s_pl in
+  let unchanged prev cur =
+    Array.length prev = Array.length cur
+    &&
+    let ok = ref true in
+    Array.iteri (fun i (e : Summaries.entry) -> if e != cur.(i) then ok := false) prev;
+    !ok
+  in
+  match s.s_prev with
+  | Some (prev, r)
+    when (match r.verdict with Proved -> true | _ -> false)
+         && unchanged prev (probe ()) ->
+    (r, true)
+  | _ ->
+    let r = check_crash_freedom ~config:s.s_config s.s_pl in
+    s.s_prev <- Some (probe (), r);
+    (r, false)
+
 (* {1 Bounded execution} *)
 
 type bound_report = {
@@ -746,9 +797,10 @@ let bound_visitor cfg nodes (summaries : Summaries.entry array)
     if stats.composite_paths > cfg.max_composite_paths then
       raise Path_budget;
     let tag = Printf.sprintf "n%d" node in
+    let deps = summaries.(node).Summaries.result.Engine.static_deps in
     List.iter
       (fun (seg : Engine.segment) ->
-        let st' = Compose.apply st ~tag seg in
+        let st' = Compose.apply ~deps st ~tag seg in
         if Compose.plausible st' then
           match seg.Engine.outcome with
           | Engine.O_crash _ -> complete st' true
@@ -768,9 +820,10 @@ let bound_visitor cfg nodes (summaries : Summaries.entry array)
    payload is a completed path: (final state, ended-in-crash). *)
 let bound_expand nodes (summaries : Summaries.entry array) node st =
   let tag = Printf.sprintf "n%d" node in
+  let deps = summaries.(node).Summaries.result.Engine.static_deps in
   List.concat_map
     (fun (seg : Engine.segment) ->
-      let st' = Compose.apply st ~tag seg in
+      let st' = Compose.apply ~deps st ~tag seg in
       if not (Compose.plausible st') then []
       else
         match seg.Engine.outcome with
@@ -910,8 +963,8 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
        | ((st : Compose.t), _crashed) :: rest -> (
          stats.suspect_checks <- stats.suspect_checks + 1;
          match
-           Solver.check ?cache ~max_conflicts:config.solver_budget
-             st.Compose.cond
+           Solver.check ?cache ~deps:st.Compose.static_deps
+             ~max_conflicts:config.solver_budget st.Compose.cond
          with
          | Solver.Sat model -> best := Some (st.Compose.instr_hi, st, model)
          | Solver.Unsat ->
@@ -1034,9 +1087,10 @@ let reach_visitor cfg pl nodes (summaries : Summaries.entry array) ~bad
     if stats.composite_paths > cfg.max_composite_paths then
       raise Path_budget;
     let tag = Printf.sprintf "n%d" node in
+    let deps = summaries.(node).Summaries.result.Engine.static_deps in
     List.iter
       (fun (seg : Engine.segment) ->
-        let st' = Compose.apply st ~tag seg in
+        let st' = Compose.apply ~deps st ~tag seg in
         if Compose.plausible st' then
           match seg.Engine.outcome with
           | Engine.O_crash _ ->
@@ -1075,6 +1129,7 @@ type reach_check = {
    path ends matching [bad] become check items. *)
 let reach_expand pl nodes (summaries : Summaries.entry array) ~bad node st =
   let tag = Printf.sprintf "n%d" node in
+  let deps = summaries.(node).Summaries.result.Engine.static_deps in
   let check seg st' path_end =
     if bad path_end then
       [ W_check
@@ -1084,7 +1139,7 @@ let reach_expand pl nodes (summaries : Summaries.entry array) ~bad node st =
   in
   List.concat_map
     (fun (seg : Engine.segment) ->
-      let st' = Compose.apply st ~tag seg in
+      let st' = Compose.apply ~deps st ~tag seg in
       if not (Compose.plausible st') then []
       else
         match seg.Engine.outcome with

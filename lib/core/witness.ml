@@ -116,10 +116,8 @@ let state_of_model pl (model : Model.t) (st : Compose.t) :
                 Hashtbl.replace (tbl_of init (node, store)) k v
               | Some d ->
                 let actual =
-                  match
-                    List.find_opt (fun (k', _) -> B.equal k k') d.Ir.init
-                  with
-                  | Some (_, v') -> v'
+                  match Vdp_ir.Static_data.find d.Ir.init k with
+                  | Some v' -> v'
                   | None -> d.Ir.default
                 in
                 if not (B.equal actual v) then

@@ -759,18 +759,26 @@ let compile_native ~budget (prog : program) (stores : Stores.t) :
       let kk = src key in
       match d.kind with
       | Static ->
-        (* Static contents cannot change after [Stores.init]; reset
-           re-installs the same pairs, so the snapshot stays valid. *)
+        (* Static contents are snapshotted into an int-keyed table, but
+           config churn can mutate them after compilation; the snapshot
+           is rebuilt lazily whenever the generation counter moves. *)
+        let data = d.init in
         let tbl = Hashtbl.create 64 in
-        List.iter
-          (fun (k, v) ->
-            Hashtbl.replace tbl (B.to_int_trunc k) (B.to_int_trunc v))
-          (Stores.entries stores name);
+        let snap_gen = ref (-1) in
+        let refresh () =
+          Hashtbl.reset tbl;
+          Static_data.iter
+            (fun k v ->
+              Hashtbl.replace tbl (B.to_int_trunc k) (B.to_int_trunc v))
+            data;
+          snap_gen := Static_data.generation data
+        in
         let dflt = B.to_int_trunc d.default in
         fun () ->
           let c = st.count + 1 in
           st.count <- c;
           if c > budget then crash Budget_exhausted;
+          if !snap_gen <> Static_data.generation data then refresh ();
           Array.unsafe_set regs r
             (match Hashtbl.find_opt tbl (Array.unsafe_get regs kk) with
             | Some v -> v

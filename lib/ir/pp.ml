@@ -67,7 +67,7 @@ let program fmt (p : program) =
       Format.fprintf fmt "store %s : bv%d -> bv%d (%s, %d entries)@,"
         d.store_name d.key_width d.val_width
         (match d.kind with Static -> "static" | Private -> "private")
-        (List.length d.init))
+        (Static_data.length d.init))
     p.stores;
   Array.iteri
     (fun i blk ->

@@ -97,8 +97,23 @@ type store_decl = {
   val_width : int;
   kind : store_kind;
   default : B.t;                 (** returned on missing keys *)
-  init : (B.t * B.t) list;       (** initial contents *)
+  init : Static_data.t;
+      (** contents: live (mutable, shared) for [Static] stores; the
+          per-instance starting state for [Private] ones *)
 }
+
+(* Smart constructor: builds the store's [Static_data] contents from an
+   association list with the declared widths. *)
+let store ~name ~key_width ~val_width ~kind ~default ?(init = []) () :
+    store_decl =
+  {
+    store_name = name;
+    key_width;
+    val_width;
+    kind;
+    default;
+    init = Static_data.of_list ~key_width ~val_width init;
+  }
 
 type program = {
   name : string;

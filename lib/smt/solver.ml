@@ -139,14 +139,20 @@ let now () = Unix.gettimeofday ()
    cached: they depend on the conflict budget. *)
 
 module Cache = struct
+  module B = Vdp_bitvec.Bitvec
+
   type t = {
-    table : (int, outcome) Hashtbl.t;
+    table : (int, outcome * (int * B.t) list) Hashtbl.t;
+        (* outcome plus the static-state slices (Static_data id,
+           concrete key) the query depended on: a config mutation of
+           one of those slices drops exactly the dependent entries *)
     order : int Queue.t;  (* insertion order, for FIFO eviction *)
     capacity : int;
     lock : Mutex.t;
         (* taken only in parallel mode: a cache may then be shared by
            every worker domain (lookup/insert stay individually atomic;
            a racing duplicate solve is harmless and [add] dedupes) *)
+    mutable invalidated : int;  (* entries dropped by invalidate_static *)
   }
 
   let create ?(capacity = 1 lsl 14) () =
@@ -155,6 +161,7 @@ module Cache = struct
       order = Queue.create ();
       capacity;
       lock = Mutex.create ();
+      invalidated = 0;
     }
 
   let guarded c f =
@@ -171,26 +178,58 @@ module Cache = struct
 
   let length c = guarded c (fun () -> Hashtbl.length c.table)
 
-  let find c id = guarded c (fun () -> Hashtbl.find_opt c.table id)
+  let find c id =
+    guarded c (fun () -> Option.map fst (Hashtbl.find_opt c.table id))
 
   (* Returns the number of evicted entries (0 or 1). *)
-  let add c id outcome =
+  let add c id outcome deps =
     guarded c (fun () ->
         if Hashtbl.mem c.table id then 0
         else begin
           let evicted =
-            if Hashtbl.length c.table >= c.capacity then (
-              match Queue.take_opt c.order with
-              | Some victim ->
-                Hashtbl.remove c.table victim;
-                1
-              | None -> 0)
+            if Hashtbl.length c.table >= c.capacity then begin
+              (* Invalidation may have removed queued ids already; skip
+                 those ghosts until a live victim falls out. *)
+              let rec evict () =
+                match Queue.take_opt c.order with
+                | None -> 0
+                | Some victim ->
+                  if Hashtbl.mem c.table victim then begin
+                    Hashtbl.remove c.table victim;
+                    1
+                  end
+                  else evict ()
+              in
+              evict ()
+            end
             else 0
           in
-          Hashtbl.add c.table id outcome;
+          Hashtbl.add c.table id (outcome, deps);
           Queue.add id c.order;
           evicted
         end)
+
+  (* Drop every entry that read the mutated (store, key) slice; ids
+     linger in [order] and are skipped at eviction time. *)
+  let invalidate_static c ~sid ~key =
+    guarded c (fun () ->
+        let victims =
+          Hashtbl.fold
+            (fun id (_, deps) acc ->
+              if
+                List.exists
+                  (fun (sid', k) -> sid' = sid && B.equal k key)
+                  deps
+              then id :: acc
+              else acc)
+            c.table []
+        in
+        List.iter (Hashtbl.remove c.table) victims;
+        let n = List.length victims in
+        c.invalidated <- c.invalidated + n;
+        n)
+
+  let invalidations c = guarded c (fun () -> c.invalidated)
 end
 
 (* One shared cache: identical composite conditions recur across the
@@ -218,10 +257,10 @@ let finish sts (o : outcome) =
   | Unknown -> tally sts (fun s -> s.unknown_answers <- s.unknown_answers + 1));
   o
 
-let cache_store sts cache id outcome =
+let cache_store sts cache id outcome deps =
   match (cache, outcome) with
   | Some c, (Sat _ | Unsat) ->
-    let evicted = Cache.add c id outcome in
+    let evicted = Cache.add c id outcome deps in
     if evicted > 0 then
       tally sts (fun s -> s.cache_evictions <- s.cache_evictions + evicted)
   | _ -> ()
@@ -237,7 +276,7 @@ let cache_store sts cache id outcome =
    re-validates against the original conjunction, so neither a
    preprocessing nor a blasting bug can produce a bogus
    counterexample. *)
-let check_conj sts ?cache ~preprocess terms ~blast_and_solve =
+let check_conj sts ?cache ?(deps = []) ~preprocess terms ~blast_and_solve =
   tally sts (fun s -> s.calls <- s.calls + 1);
   let raw = Term.and_ terms in
   if Term.is_false raw then begin
@@ -280,12 +319,12 @@ let check_conj sts ?cache ~preprocess terms ~blast_and_solve =
       if key != raw && Interval.refute key then begin
         tally sts (fun s ->
             s.interval_refutations <- s.interval_refutations + 1);
-        cache_store sts cache key.Term.id Unsat;
+        cache_store sts cache key.Term.id Unsat deps;
         finish sts Unsat
       end
       else begin
         let o = blast_and_solve pre in
-        cache_store sts cache key.Term.id o;
+        cache_store sts cache key.Term.id o deps;
         finish sts (match o with Sat m -> accept m | o -> o)
       end
 
@@ -311,8 +350,8 @@ let instrumented sts bb ~blast ~solve =
         s.learned_deleted + (Sat.num_learned_deleted sat - ld0));
   r
 
-let check ?(max_conflicts = max_int) ?cache ?(preprocess = true) terms =
-  check_conj [ stats ] ?cache ~preprocess terms ~blast_and_solve:(fun pre ->
+let check ?(max_conflicts = max_int) ?cache ?deps ?(preprocess = true) terms =
+  check_conj [ stats ] ?cache ?deps ~preprocess terms ~blast_and_solve:(fun pre ->
       let bb = Bitblast.create () in
       let r =
         instrumented [ stats ] bb
@@ -396,9 +435,10 @@ let assert_term ctx t = assert_terms ctx [ t ]
 
 let asserted ctx = List.concat_map (fun sc -> sc.asserted) ctx.scopes
 
-let check_ctx ?(max_conflicts = max_int) ctx =
+let check_ctx ?(max_conflicts = max_int) ?deps ctx =
   let sts = [ stats; ctx.cstats ] in
-  check_conj sts ?cache:ctx.cache ~preprocess:ctx.preprocess (asserted ctx)
+  check_conj sts ?cache:ctx.cache ?deps ~preprocess:ctx.preprocess
+    (asserted ctx)
     ~blast_and_solve:(fun pre ->
       let sat = Bitblast.sat ctx.bb in
       ctx.checks <- ctx.checks + 1;

@@ -88,6 +88,17 @@ module Cache : sig
   val create : ?capacity:int -> unit -> t
   val clear : t -> unit
   val length : t -> int
+
+  val invalidate_static :
+    t -> sid:int -> key:Vdp_bitvec.Bitvec.t -> int
+  (** Drop every entry whose dep list includes the static-state slice
+      ([Vdp_ir.Static_data] id, concrete key); returns how many were
+      dropped. Called on config mutation so a rule change invalidates
+      only dependent queries. *)
+
+  val invalidations : t -> int
+  (** Total entries dropped by {!invalidate_static} over the cache's
+      lifetime. *)
 end
 
 val shared_cache : Cache.t
@@ -97,10 +108,13 @@ val shared_cache : Cache.t
 (** {1 One-shot checking} *)
 
 val check :
-  ?max_conflicts:int -> ?cache:Cache.t -> ?preprocess:bool ->
+  ?max_conflicts:int -> ?cache:Cache.t ->
+  ?deps:(int * Vdp_bitvec.Bitvec.t) list -> ?preprocess:bool ->
   Term.t list -> outcome
 (** Satisfiability of the conjunction. No caching unless [cache] is
-    supplied; word-level preprocessing is on unless [preprocess:false]. *)
+    supplied; word-level preprocessing is on unless [preprocess:false].
+    [deps] tags the cache entry with the static-state slices the
+    conjunction was built from (see {!Cache.invalidate_static}). *)
 
 val check_term : ?max_conflicts:int -> Term.t -> outcome
 
@@ -134,7 +148,9 @@ val assert_terms : ctx -> Term.t list -> unit
 
 val assert_term : ctx -> Term.t -> unit
 
-val check_ctx : ?max_conflicts:int -> ctx -> outcome
+val check_ctx :
+  ?max_conflicts:int -> ?deps:(int * Vdp_bitvec.Bitvec.t) list -> ctx ->
+  outcome
 (** Satisfiability of the conjunction of all live scopes' assertions. *)
 
 val depth : ctx -> int

@@ -17,6 +17,7 @@ module T = Vdp_smt.Term
 module Interval = Vdp_smt.Interval
 module Solver = Vdp_smt.Solver
 module Ir = Vdp_ir.Types
+module Sdata = Vdp_ir.Static_data
 module S = Sstate
 
 type crash =
@@ -85,6 +86,12 @@ type result = {
   incomplete : int;   (** abandoned paths (budget / unsupported) *)
   forks : int;
   abandon_reasons : (string * int) list;
+  static_deps : (int * B.t) list;
+      (** static-state slices the segments baked in: ({!Static_data} id,
+          concrete key) per exact static read. A mutation of one of
+          these slices invalidates any cache entry built from this
+          result; symbolic-key reads return fresh unconstrained values
+          and therefore depend on no slice. *)
 }
 
 exception Budget_exceeded
@@ -107,6 +114,7 @@ type ctx = {
   mutable nincomplete : int;
   mutable nforks : int;
   mutable abandoned : (string * int) list;
+  mutable static_deps : (int * B.t) list;
 }
 
 (* Per-path "summarized" and instruction-slack live in the state's
@@ -358,14 +366,22 @@ and exec_instr ctx mode (st : S.t) ins k =
     in
     match (decl.Ir.kind, T.const_value key_t) with
     | Ir.Static, Some kv ->
-      (* Static stores are immutable: a concrete-key read is exact. *)
+      (* A concrete-key read of a static store is exact — the current
+         value is baked into the segment, so record the slice read:
+         if that (store, key) mutates, this summary is stale. *)
+      let data = decl.Ir.init in
       let value =
-        match
-          List.find_opt (fun (k', _) -> B.equal k' kv) decl.Ir.init
-        with
-        | Some (_, v) -> v
+        match Sdata.find data kv with
+        | Some v -> v
         | None -> decl.Ir.default
       in
+      let dep = (Sdata.id data, kv) in
+      if
+        not
+          (List.exists
+             (fun (i, k') -> i = fst dep && B.equal k' kv)
+             ctx.static_deps)
+      then ctx.static_deps <- dep :: ctx.static_deps;
       st.S.regs.(r) <- T.bv value;
       k st
     | _ ->
@@ -642,6 +658,7 @@ let explore ?(config = default_config) (prog : Ir.program) : result =
       nincomplete = 0;
       nforks = 0;
       abandoned = [];
+      static_deps = [];
     }
   in
   (try exec_block ctx Normal st with Budget_exceeded -> ctx.nincomplete <- ctx.nincomplete + 1);
@@ -651,4 +668,5 @@ let explore ?(config = default_config) (prog : Ir.program) : result =
     incomplete = ctx.nincomplete;
     forks = ctx.nforks;
     abandon_reasons = ctx.abandoned;
+    static_deps = ctx.static_deps;
   }

@@ -78,6 +78,12 @@ type result = {
                          proof built on these segments is partial *)
   forks : int;
   abandon_reasons : (string * int) list;
+  static_deps : (int * Vdp_bitvec.Bitvec.t) list;
+      (** static-state slices baked into the segments:
+          ({!Vdp_ir.Static_data} id, concrete key) per exact static
+          read. Mutating one of these slices invalidates any cache
+          entry built from this result; symbolic-key reads return
+          fresh unconstrained values and depend on no slice. *)
 }
 
 val explore : ?config:config -> Vdp_ir.Types.program -> result

@@ -1,100 +1,241 @@
-(** Array-based longest-prefix match in the DIR-24-8 style of
+(** Array-based longest-prefix match in the DIR-16-8-8 style of
     Gupta–Lin–McKeown (the paper's argument for verifiable lookup
     structures: trade memory for plain array indexing).
 
-    A first array of [2^stride] slots is indexed by the top [stride]
-    address bits; prefixes longer than [stride] spill into second-level
-    blocks of [2^(32-stride)] slots. Every lookup is one or two array
-    reads — no loops, no pointers, trivially bounded. *)
+    A first array of 2^16 slots is indexed by the top 16 address bits;
+    prefixes longer than /16 spill into 256-slot second-level blocks
+    (bits 15..8), and prefixes longer than /24 into 256-slot third-level
+    blocks (bits 7..0). Every lookup is at most three array reads — no
+    loops, no pointers to chase, trivially bounded — and the three
+    levels mirror the lpm16/lpm24/lpm32 static stores of the
+    [RadixIPLookup] element, which is differentially checked against
+    this structure.
 
-type t = {
-  stride : int;
-  top : int array;
-      (** [>= 0]: next hop + 1; [0]: no route; [< 0]: -(block index) - 1 *)
-  mutable blocks : int array array;
-  mutable nblocks : int;
-  low_bits : int;
+    Each occupied slot records the length of the prefix whose expansion
+    filled it, so [insert] and [delete] are total in any order: a
+    shorter prefix arriving after a longer one only overwrites slots
+    still owned by an even shorter prefix, and deleting a route restores
+    the next-longest covering route from the registry. *)
+
+type level = {
+  vals : int array;
+      (** [> 0]: next hop + 1; [0]: no route; [< 0]: -(child block) - 1 *)
+  lens : Bytes.t;  (** prefix length owning the slot; [0xff]: none *)
 }
 
-let create ?(stride = 16) () =
-  if stride < 1 || stride > 24 then invalid_arg "Dir_lpm.create: stride";
+type t = {
+  top : level;  (** 2^16 slots, address bits 31..16 *)
+  mutable l2 : level array;  (** 256-slot blocks, address bits 15..8 *)
+  mutable nl2 : int;
+  mutable l3 : level array;  (** 256-slot blocks, address bits 7..0 *)
+  mutable nl3 : int;
+  routes : (int, int) Hashtbl.t;
+      (** (masked prefix lsl 6) lor len -> next hop; the exact-match
+          registry consulted for covering-prefix fallback on delete *)
+}
+
+let no_len = 0xff
+
+let mk_level n = { vals = Array.make n 0; lens = Bytes.make n (Char.chr no_len) }
+
+let create () =
   {
-    stride;
-    top = Array.make (1 lsl stride) 0;
-    blocks = [||];
-    nblocks = 0;
-    low_bits = 32 - stride;
+    top = mk_level 65536;
+    l2 = [||];
+    nl2 = 0;
+    l3 = [||];
+    nl3 = 0;
+    routes = Hashtbl.create 1024;
   }
 
-let alloc_block t fill =
-  let b = Array.make (1 lsl t.low_bits) fill in
-  if t.nblocks = Array.length t.blocks then begin
-    let arr = Array.make (max 4 (2 * t.nblocks)) [||] in
-    Array.blit t.blocks 0 arr 0 t.nblocks;
-    t.blocks <- arr
-  end;
-  t.blocks.(t.nblocks) <- b;
-  t.nblocks <- t.nblocks + 1;
-  t.nblocks - 1
+let mask32 len = if len = 0 then 0 else 0xffffffff lsl (32 - len) land 0xffffffff
+let route_key prefix len = ((prefix land mask32 len) lsl 6) lor len
+let slot_len lv i = Char.code (Bytes.unsafe_get lv.lens i)
+let set_slot lv i v len =
+  lv.vals.(i) <- v;
+  Bytes.unsafe_set lv.lens i (Char.chr len)
 
-(* Routes must be inserted in order of increasing prefix length for
-   correct longest-match overwrite semantics; [of_routes] takes care of
-   sorting. *)
+let grow blocks n =
+  if n = Array.length blocks then begin
+    let arr = Array.make (max 4 (2 * n)) (mk_level 0) in
+    Array.blit blocks 0 arr 0 n;
+    arr
+  end
+  else blocks
+
+(* Allocate a child block seeded with the slot's current route (value and
+   owning prefix length), then turn the slot into a pointer. *)
+let spill_slot t lv i ~l3 =
+  let fill = lv.vals.(i) and flen = slot_len lv i in
+  let b = mk_level 256 in
+  if fill > 0 then begin
+    Array.fill b.vals 0 256 fill;
+    Bytes.fill b.lens 0 256 (Char.chr flen)
+  end;
+  let bi =
+    if l3 then begin
+      t.l3 <- grow t.l3 t.nl3;
+      t.l3.(t.nl3) <- b;
+      t.nl3 <- t.nl3 + 1;
+      t.nl3 - 1
+    end
+    else begin
+      t.l2 <- grow t.l2 t.nl2;
+      t.l2.(t.nl2) <- b;
+      t.nl2 <- t.nl2 + 1;
+      t.nl2 - 1
+    end
+  in
+  set_slot lv i (-bi - 1) no_len;
+  b
+
+let child_l2 t lv i =
+  if lv.vals.(i) < 0 then t.l2.(-lv.vals.(i) - 1) else spill_slot t lv i ~l3:false
+
+let child_l3 t lv i =
+  if lv.vals.(i) < 0 then t.l3.(-lv.vals.(i) - 1) else spill_slot t lv i ~l3:true
+
+(* Overwrite every slot of [lv] (descending through pointer slots, which
+   in any block can only point into L3) whose owning prefix is no longer
+   than [len] — i.e. everything a new [len] route legitimately shadows.
+   This is the fix for the old fallback that only wrote empty slots and
+   left shorter-prefix fills stale. *)
+let rec flood t lv ~len v =
+  for i = 0 to Array.length lv.vals - 1 do
+    if lv.vals.(i) < 0 then flood t t.l3.(-lv.vals.(i) - 1) ~len v
+    else begin
+      let l = slot_len lv i in
+      if l = no_len || l <= len then set_slot lv i v len
+    end
+  done
+
+(* Write route [v]/[len] into slot [i] of [lv]; if the slot has spilled
+   into a child block, flood the child instead. *)
+let write_slot t lv i ~len v ~l3 =
+  if lv.vals.(i) < 0 then
+    let b = if l3 then t.l3.(-lv.vals.(i) - 1) else t.l2.(-lv.vals.(i) - 1) in
+    flood t b ~len v
+  else begin
+    let l = slot_len lv i in
+    if l = no_len || l <= len then set_slot lv i v len
+  end
+
 let insert t ~prefix ~len next_hop =
   if len < 0 || len > 32 then invalid_arg "Dir_lpm.insert: bad length";
   if next_hop < 0 then invalid_arg "Dir_lpm.insert: negative next hop";
-  let nh = next_hop + 1 in
-  if len <= t.stride then begin
-    (* Fill all covered top slots (that don't point into blocks). *)
-    let base = prefix lsr (32 - t.stride) in
-    let span = 1 lsl (t.stride - len) in
-    let base = base land lnot (span - 1) in
+  Hashtbl.replace t.routes (route_key prefix len) next_hop;
+  let v = next_hop + 1 in
+  if len <= 16 then begin
+    let span = 1 lsl (16 - len) in
+    let base = (prefix lsr 16) land 0xffff land lnot (span - 1) in
     for i = base to base + span - 1 do
-      if t.top.(i) >= 0 then t.top.(i) <- nh
-      else begin
-        (* A longer prefix already expanded this slot: update the whole
-           block where it still holds shorter-prefix data. This cannot
-           happen when inserting in length order; keep it total anyway. *)
-        let b = t.blocks.(-t.top.(i) - 1) in
-        Array.iteri (fun j v -> if v = 0 then b.(j) <- nh) b
-      end
+      write_slot t t.top i ~len v ~l3:false
+    done
+  end
+  else if len <= 24 then begin
+    let b2 = child_l2 t t.top ((prefix lsr 16) land 0xffff) in
+    let span = 1 lsl (24 - len) in
+    let base = (prefix lsr 8) land 0xff land lnot (span - 1) in
+    for i = base to base + span - 1 do
+      write_slot t b2 i ~len v ~l3:true
     done
   end
   else begin
-    let ti = prefix lsr (32 - t.stride) in
-    let bi =
-      if t.top.(ti) < 0 then -t.top.(ti) - 1
-      else begin
-        let fill = t.top.(ti) in
-        let bi = alloc_block t fill in
-        t.top.(ti) <- -bi - 1;
-        bi
-      end
-    in
-    let block = t.blocks.(bi) in
-    let low = (prefix lsr (32 - len)) land ((1 lsl (len - t.stride)) - 1) in
-    let shift = t.low_bits - (len - t.stride) in
-    let base = low lsl shift in
-    for i = base to base + (1 lsl shift) - 1 do
-      block.(i) <- nh
+    let b2 = child_l2 t t.top ((prefix lsr 16) land 0xffff) in
+    let b3 = child_l3 t b2 ((prefix lsr 8) land 0xff) in
+    let span = 1 lsl (32 - len) in
+    let base = prefix land 0xff land lnot (span - 1) in
+    for i = base to base + span - 1 do
+      let l = slot_len b3 i in
+      if l = no_len || l <= len then set_slot b3 i v len
     done
   end
 
+(* The longest registered route strictly shorter than [len] covering
+   [prefix]: every slot in a deleted route's expansion cone shares its
+   top [len] bits, so one fallback serves the whole cone. *)
+let fallback t ~prefix ~len =
+  let rec probe l =
+    if l < 0 then (0, no_len)
+    else
+      match Hashtbl.find_opt t.routes (route_key prefix l) with
+      | Some nh -> (nh + 1, l)
+      | None -> probe (l - 1)
+  in
+  probe (len - 1)
+
+(* Replace every slot owned by exactly [len] with the fallback route. *)
+let rec unflood t lv ~len v flen =
+  for i = 0 to Array.length lv.vals - 1 do
+    if lv.vals.(i) < 0 then unflood t t.l3.(-lv.vals.(i) - 1) ~len v flen
+    else if slot_len lv i = len then set_slot lv i v flen
+  done
+
+let erase_slot t lv i ~len v flen ~l3 =
+  if lv.vals.(i) < 0 then
+    let b = if l3 then t.l3.(-lv.vals.(i) - 1) else t.l2.(-lv.vals.(i) - 1) in
+    unflood t b ~len v flen
+  else if slot_len lv i = len then set_slot lv i v flen
+
+let delete t ~prefix ~len =
+  if len < 0 || len > 32 then invalid_arg "Dir_lpm.delete: bad length";
+  let key = route_key prefix len in
+  if not (Hashtbl.mem t.routes key) then false
+  else begin
+    Hashtbl.remove t.routes key;
+    let v, flen = fallback t ~prefix ~len in
+    if len <= 16 then begin
+      let span = 1 lsl (16 - len) in
+      let base = (prefix lsr 16) land 0xffff land lnot (span - 1) in
+      for i = base to base + span - 1 do
+        erase_slot t t.top i ~len v flen ~l3:false
+      done
+    end
+    else if len <= 24 then begin
+      let ti = (prefix lsr 16) land 0xffff in
+      if t.top.vals.(ti) < 0 then begin
+        let b2 = t.l2.(-t.top.vals.(ti) - 1) in
+        let span = 1 lsl (24 - len) in
+        let base = (prefix lsr 8) land 0xff land lnot (span - 1) in
+        for i = base to base + span - 1 do
+          erase_slot t b2 i ~len v flen ~l3:true
+        done
+      end
+    end
+    else begin
+      let ti = (prefix lsr 16) land 0xffff in
+      if t.top.vals.(ti) < 0 then begin
+        let b2 = t.l2.(-t.top.vals.(ti) - 1) in
+        let j = (prefix lsr 8) land 0xff in
+        if b2.vals.(j) < 0 then begin
+          let b3 = t.l3.(-b2.vals.(j) - 1) in
+          let span = 1 lsl (32 - len) in
+          let base = prefix land 0xff land lnot (span - 1) in
+          for i = base to base + span - 1 do
+            if slot_len b3 i = len then set_slot b3 i v flen
+          done
+        end
+      end
+    end;
+    true
+  end
+
 let lookup t addr =
-  let ti = (addr lsr (32 - t.stride)) land ((1 lsl t.stride) - 1) in
-  let v = t.top.(ti) in
+  let v = t.top.vals.((addr lsr 16) land 0xffff) in
   let v =
     if v >= 0 then v
-    else t.blocks.(-v - 1).(addr land ((1 lsl t.low_bits) - 1))
+    else begin
+      let v2 = t.l2.(-v - 1).vals.((addr lsr 8) land 0xff) in
+      if v2 >= 0 then v2 else t.l3.(-v2 - 1).vals.(addr land 0xff)
+    end
   in
   if v = 0 then None else Some (v - 1)
 
-let of_routes ?stride routes =
-  let t = create ?stride () in
-  let sorted =
-    List.sort (fun (_, l1, _) (_, l2, _) -> Stdlib.compare l1 l2) routes
-  in
-  List.iter (fun (prefix, len, nh) -> insert t ~prefix ~len nh) sorted;
+let count t = Hashtbl.length t.routes
+
+let of_routes routes =
+  let t = create () in
+  List.iter (fun (prefix, len, nh) -> insert t ~prefix ~len nh) routes;
   t
 
-let memory_slots t = Array.length t.top + (t.nblocks * (1 lsl t.low_bits))
+let memory_slots t = 65536 + (256 * (t.nl2 + t.nl3))

@@ -38,6 +38,23 @@ let add t ~prefix ~len value =
   in
   go t.root 0
 
+let remove t ~prefix ~len =
+  if len < 0 || len > 32 then invalid_arg "Lpm.remove: bad prefix length";
+  let rec go node i =
+    if i = len then
+      match node.value with
+      | None -> false
+      | Some _ ->
+        node.value <- None;
+        t.count <- t.count - 1;
+        true
+    else
+      match (if bit_of prefix i = 0 then node.zero else node.one) with
+      | None -> false
+      | Some c -> go c (i + 1)
+  in
+  go t.root 0
+
 let lookup t addr =
   let best = ref t.root.value in
   let rec go node i =

@@ -98,14 +98,8 @@ let unit_tests =
     Alcotest.test_case "kv store read/write with default" `Quick (fun () ->
         let b = Bld.create ~name:"kv" in
         Bld.declare_store b
-          {
-            Ir.store_name = "s";
-            key_width = 8;
-            val_width = 16;
-            kind = Ir.Private;
-            default = B.of_int ~width:16 7;
-            init = [];
-          };
+          (Ir.store ~name:"s" ~key_width:8 ~val_width:16 ~kind:Ir.Private
+             ~default:(B.of_int ~width:16 7) ());
         let v = Bld.kv_read b ~store:"s" ~key:(c8 1) ~val_width:16 in
         let v' = Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg v, c16 1)) in
         Bld.instr b (Ir.Kv_write ("s", c8 1, Ir.Reg v'));
@@ -124,14 +118,8 @@ let unit_tests =
              (B.of_int ~width:16 9)));
     Alcotest.test_case "static store rejects writes" `Quick (fun () ->
         let decl =
-          {
-            Ir.store_name = "ro";
-            key_width = 8;
-            val_width = 8;
-            kind = Ir.Static;
-            default = B.zero 8;
-            init = [];
-          }
+          Ir.store ~name:"ro" ~key_width:8 ~val_width:8 ~kind:Ir.Static
+            ~default:(B.zero 8) ()
         in
         let stores = Stores.init [ decl ] in
         check_bool "raises" true

@@ -20,4 +20,5 @@ let () =
       ("preprocess", Test_preprocess.tests);
       ("cert", Test_cert.tests);
       ("batch", Test_batch.tests);
+      ("staleness", Test_staleness.tests);
     ]

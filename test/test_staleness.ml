@@ -1,0 +1,289 @@
+(* Incremental re-verification under config churn: static-store
+   mutations must invalidate exactly the dependent cached state (and
+   flip verdicts accordingly), element-level FIB churn must keep the
+   incremental verdict equal to the from-scratch one, the runtime FIB
+   must track churn against the reference trie, and the summary cache
+   must survive a symbex exception without poisoning itself. *)
+
+module B = Vdp_bitvec.Bitvec
+module Ir = Vdp_ir.Types
+module Sdata = Vdp_ir.Static_data
+module Bld = Vdp_ir.Builder
+module E = Vdp_symbex.Engine
+module Click = Vdp_click
+module L = Vdp_click.El_lookup
+module Lpm = Vdp_tables.Lpm
+module V = Vdp_verif.Verifier
+module Summaries = Vdp_verif.Summaries
+module Staleness = Vdp_verif.Staleness
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fast_config =
+  { V.default_config with
+    V.engine = { E.default_config with E.max_len = 128 } }
+
+let verdict_name (r : V.report) =
+  match r.V.verdict with
+  | V.Proved -> "proved"
+  | V.Violated _ -> "violated"
+  | V.Unknown m -> "unknown:" ^ m
+
+(* {1 A pipeline whose verdict depends on one static slot} *)
+
+(* FlagGuard asserts that slot 0 of its static "flag" store is zero —
+   a concrete-key read, so its summary records the (store, key) slice
+   and a mutation of that slot must invalidate and flip the verdict. *)
+let flag_element () =
+  let decl =
+    Ir.store ~name:"flag" ~key_width:8 ~val_width:8 ~kind:Ir.Static
+      ~default:(B.zero 8)
+      ~init:[ (B.zero 8, B.zero 8) ]
+      ()
+  in
+  let b = Bld.create ~name:"FlagGuard" in
+  Bld.declare_store b decl;
+  let v =
+    Bld.kv_read b ~store:"flag" ~key:(Ir.Const (B.zero 8)) ~val_width:8
+  in
+  let ok = Bld.cmp b Ir.Eq (Ir.Reg v) (Ir.Const (B.zero 8)) in
+  Bld.instr b (Ir.Assert (Ir.Reg ok, "flag clear"));
+  Bld.term b (Ir.Emit 0);
+  let program = Bld.finish b in
+  (Click.Element.make ~name:"guard" ~cls:"FlagGuard" ~config:[] program,
+   decl.Ir.init)
+
+let flip_tests =
+  [
+    Alcotest.test_case "mutating a read slot flips the verdict" `Quick
+      (fun () ->
+        Summaries.clear ();
+        let el, data = flag_element () in
+        let pl = Click.Pipeline.linear [ el ] in
+        let s = V.session ~config:fast_config pl in
+        let r1, _ = V.verify_crash s in
+        check_bool "clear flag proves" true (verdict_name r1 = "proved");
+        (* Reuse without any mutation: the memoized verdict comes back. *)
+        let r1', reused = V.verify_crash s in
+        check_bool "verdict reused" true reused;
+        check_bool "same verdict" true (verdict_name r1' = "proved");
+        (* Mutate the slot the summary read: the verdict must flip. *)
+        Staleness.reset_stats ();
+        Sdata.set data (B.zero 8) (B.of_int ~width:8 1);
+        check_bool "mutation observed" true
+          (Staleness.stats.Staleness.mutations >= 1);
+        check_bool "dependent summary dropped" true
+          (Staleness.stats.Staleness.summaries_dropped >= 1);
+        let r2, reused2 = V.verify_crash s in
+        check_bool "stale verdict not reused" false reused2;
+        check_bool "set flag violates" true (verdict_name r2 = "violated");
+        (* And back: restoring the slot restores the proof. *)
+        Sdata.set data (B.zero 8) (B.zero 8);
+        let r3, _ = V.verify_crash s in
+        check_bool "restored flag proves" true (verdict_name r3 = "proved"));
+    Alcotest.test_case "unrelated-key mutation spares the summary" `Quick
+      (fun () ->
+        Summaries.clear ();
+        let el, data = flag_element () in
+        let pl = Click.Pipeline.linear [ el ] in
+        let s = V.session ~config:fast_config pl in
+        let r1, _ = V.verify_crash s in
+        check_bool "proved" true (verdict_name r1 = "proved");
+        Staleness.reset_stats ();
+        (* Key 7 was never read concretely; the summary must survive
+           and the memoized verdict must be reused. *)
+        Sdata.set data (B.of_int ~width:8 7) (B.of_int ~width:8 1);
+        check_int "no summaries dropped" 0
+          Staleness.stats.Staleness.summaries_dropped;
+        let r2, reused = V.verify_crash s in
+        check_bool "reused" true reused;
+        check_bool "still proved" true (verdict_name r2 = "proved"));
+  ]
+
+(* {1 Router + NAT churn: incremental verdict = from-scratch verdict} *)
+
+let mask32 len =
+  if len = 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+
+let nat_router_pipeline fib =
+  Click.Pipeline.linear
+    [
+      Click.Registry.make ~name:"cl" ~cls:"Classifier" ~config:[ "12/0800" ];
+      Click.Registry.make ~name:"strip" ~cls:"Strip" ~config:[ "14" ];
+      Click.Registry.make ~name:"chk" ~cls:"CheckIPHeader" ~config:[];
+      Click.Registry.make ~name:"flow" ~cls:"FlowCounter" ~config:[];
+      Click.Registry.make ~name:"nat" ~cls:"IPRewriter"
+        ~config:[ "203.0.113.7" ];
+      Click.Registry.make ~name:"cks" ~cls:"SetIPChecksum" ~config:[];
+      Click.Element.make ~name:"rt" ~cls:"RadixIPLookup"
+        ~config:[ Printf.sprintf "<%d routes>" (L.Fib.count fib) ]
+        (L.radix_program fib);
+    ]
+
+let churn_tests =
+  [
+    Alcotest.test_case
+      "router+NAT: incremental equals from-scratch across churn" `Slow
+      (fun () ->
+        Summaries.clear ();
+        let st = Random.State.make [| 42 |] in
+        let routes =
+          { L.prefix = 0; plen = 0; gw = 0; port = 2 }
+          :: List.init 200 (fun i ->
+                 let plen = 8 + Random.State.int st 25 in
+                 {
+                   L.prefix =
+                     Random.State.int st 0x3fffffff * 4 land mask32 plen;
+                   plen;
+                   gw = 0;
+                   port = i mod 3;
+                 })
+        in
+        let fib = L.Fib.create ~nports:3 routes in
+        let pl = nat_router_pipeline fib in
+        let s = V.session ~config:fast_config pl in
+        let r0, _ = V.verify_crash s in
+        for i = 1 to 3 do
+          (* One rule change per round: two inserts, then a delete. *)
+          let prefix = Random.State.int st 0x3fffffff * 4 land mask32 24 in
+          if i = 3 then ignore (L.Fib.delete fib ~prefix ~plen:24)
+          else
+            L.Fib.insert fib { L.prefix = prefix; plen = 24; gw = 0; port = i mod 3 };
+          let r_inc, _ = V.verify_crash s in
+          Summaries.clear ();
+          let r_scr = V.check_crash_freedom ~config:fast_config pl in
+          check_bool
+            (Printf.sprintf "round %d verdicts agree" i)
+            true
+            (verdict_name r_inc = verdict_name r_scr);
+          check_bool
+            (Printf.sprintf "round %d agrees with initial" i)
+            true
+            (verdict_name r_inc = verdict_name r0)
+        done);
+  ]
+
+(* {1 Runtime FIB vs reference trie across out-of-order churn} *)
+
+let fib_churn_tests =
+  [
+    Alcotest.test_case "FIB tracks the trie across inserts and deletes"
+      `Quick
+      (fun () ->
+        let st = Random.State.make [| 2024 |] in
+        let fib = L.Fib.create ~nports:8 [] in
+        let model : (int * int, L.route) Hashtbl.t = Hashtbl.create 64 in
+        let rand_route () =
+          let plen = Random.State.int st 33 in
+          let prefix = Random.State.int st 0x3fffffff * 4 land mask32 plen in
+          { L.prefix; plen; gw = Random.State.int st 1000;
+            port = Random.State.int st 8 }
+        in
+        let checks () =
+          (* Rebuild the reference trie from the surviving routes and
+             compare on random addresses plus each route's own cone. *)
+          let idx = ref [] in
+          let trie = Lpm.create () in
+          Hashtbl.iter
+            (fun (p, l) (r : L.route) ->
+              idx := r :: !idx;
+              Lpm.add trie ~prefix:p ~len:l (List.length !idx - 1))
+            model;
+          let arr = Array.of_list (List.rev !idx) in
+          let probe addr =
+            let expect =
+              match Lpm.lookup trie addr with
+              | None -> None
+              | Some i -> Some (arr.(i).L.gw, arr.(i).L.port)
+            in
+            let got = L.Fib.lookup fib addr in
+            if expect <> got then
+              Alcotest.failf "lookup 0x%08x: model %s, fib %s" addr
+                (match expect with
+                | None -> "miss"
+                | Some (g, p) -> Printf.sprintf "(%d,%d)" g p)
+                (match got with
+                | None -> "miss"
+                | Some (g, p) -> Printf.sprintf "(%d,%d)" g p)
+          in
+          for _ = 1 to 500 do
+            probe (Random.State.int st 0x3fffffff * 4)
+          done;
+          Hashtbl.iter
+            (fun (p, _) _ ->
+              probe p;
+              probe (p lxor 1);
+              probe (p lxor 0x100))
+            model
+        in
+        (* Three waves: grow, mixed insert/delete, shrink — prefix
+           lengths arrive in random order throughout. *)
+        for _ = 1 to 60 do
+          let r = rand_route () in
+          L.Fib.insert fib r;
+          Hashtbl.replace model (r.L.prefix, r.L.plen) r
+        done;
+        checks ();
+        for _ = 1 to 60 do
+          if Random.State.bool st && Hashtbl.length model > 0 then begin
+            let keys = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+            let p, l = List.nth keys (Random.State.int st (List.length keys)) in
+            check_bool "delete of present route" true
+              (L.Fib.delete fib ~prefix:p ~plen:l);
+            Hashtbl.remove model (p, l)
+          end
+          else begin
+            let r = rand_route () in
+            L.Fib.insert fib r;
+            Hashtbl.replace model (r.L.prefix, r.L.plen) r
+          end
+        done;
+        checks ();
+        Hashtbl.iter (fun (p, l) _ -> ignore (L.Fib.delete fib ~prefix:p ~plen:l))
+          (Hashtbl.copy model);
+        Hashtbl.reset model;
+        checks ();
+        check_int "all routes deleted" 0 (L.Fib.count fib));
+  ]
+
+(* {1 Summary-cache behavior under symbex exceptions} *)
+
+let poison_tests =
+  [
+    Alcotest.test_case "symbex exception clears in-flight and propagates"
+      `Quick
+      (fun () ->
+        (* A program reading an undeclared store makes Engine.explore
+           raise; built directly (Element.make would reject it). *)
+        let b = Bld.create ~name:"Broken" in
+        let _ =
+          Bld.kv_read b ~store:"nope" ~key:(Ir.Const (B.zero 8)) ~val_width:8
+        in
+        Bld.term b (Ir.Emit 0);
+        let broken =
+          {
+            Click.Element.name = "broken";
+            cls = "Broken";
+            config = [];
+            program = Bld.finish b;
+          }
+        in
+        let raises () =
+          try
+            ignore (Summaries.summarize broken);
+            false
+          with _ -> true
+        in
+        check_bool "first summarize raises" true (raises ());
+        (* If the in-flight marker leaked, this second call would wait
+           forever on a key nobody is computing. *)
+        check_bool "second summarize raises again" true (raises ());
+        (* The cache itself is not poisoned for other elements. *)
+        let good = Click.El_toy.e1_element () in
+        let entry = Summaries.summarize good in
+        check_bool "good element still summarizes" true
+          (entry.Summaries.result.E.segments <> []));
+  ]
+
+let tests = flip_tests @ churn_tests @ fib_churn_tests @ poison_tests

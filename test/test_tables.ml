@@ -242,5 +242,113 @@ let boundary_tests =
           (List.mem (ip "255.255.255.255", 32, 2) collected));
   ]
 
+(* Out-of-order churn: routes inserted, updated and deleted in random
+   length order must leave the DIR table equal to a trie rebuilt from
+   the surviving routes. Guards the staleness bug where an insert
+   shorter than an existing more-specific route clobbered the
+   specific's expanded slots. *)
+let churn_tests =
+  [
+    Alcotest.test_case "short-after-long insert keeps the specific" `Quick
+      (fun () ->
+        (* /20 first (allocates a low block), then /0 and /8 beneath
+           it: the broader routes must fill only unowned slots. *)
+        let dir = Dir.create () in
+        Dir.insert dir ~prefix:(ip "10.0.16.0") ~len:20 1;
+        Dir.insert dir ~prefix:0 ~len:0 2;
+        Dir.insert dir ~prefix:(ip "10.0.0.0") ~len:8 3;
+        opt_int "/20 survives /0 and /8" (Some 1)
+          (Dir.lookup dir (ip "10.0.17.9"));
+        opt_int "/8 covers the rest of 10/8" (Some 3)
+          (Dir.lookup dir (ip "10.9.0.1"));
+        opt_int "/0 covers everything else" (Some 2)
+          (Dir.lookup dir (ip "192.0.2.1"));
+        (* Deleting the specific uncovers the /8, then the /0. *)
+        check_bool "delete /20" true
+          (Dir.delete dir ~prefix:(ip "10.0.16.0") ~len:20);
+        opt_int "falls back to /8" (Some 3)
+          (Dir.lookup dir (ip "10.0.17.9"));
+        check_bool "delete /8" true
+          (Dir.delete dir ~prefix:(ip "10.0.0.0") ~len:8);
+        opt_int "falls back to /0" (Some 2)
+          (Dir.lookup dir (ip "10.0.17.9")));
+  ]
+
+let churn_props =
+  [
+    QCheck.Test.make ~count:60
+      ~name:"dir agrees with trie under out-of-order churn"
+      QCheck.(
+        make
+          ~print:(fun ops ->
+            String.concat "; "
+              (List.map
+                 (fun (del, p, l, nh) ->
+                   Printf.sprintf "%s %s/%d->%d"
+                     (if del then "del" else "ins")
+                     (Ipv4.addr_to_string p) l nh)
+                 ops))
+          Gen.(
+            list_size (int_range 1 60)
+              (let* del = int_bound 3 in
+               let* len = int_range 0 32 in
+               let* hi = int_bound 0xffff in
+               let* lo = int_bound 0xffff in
+               let* nh = int_range 0 50 in
+               return
+                 (del = 0, ((hi lsl 16) lor lo) land mask_of_len len, len, nh))))
+      (fun ops ->
+        let dir = Dir.create () in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (del, p, l, nh) ->
+            if del then begin
+              (* Deleting a present key must succeed, an absent one
+                 must report failure; the model tracks presence. *)
+              let present = Hashtbl.mem model (p, l) in
+              let deleted = Dir.delete dir ~prefix:p ~len:l in
+              if deleted <> present then
+                QCheck.Test.fail_reportf "delete %s/%d: %b, model %b"
+                  (Ipv4.addr_to_string p) l deleted present;
+              Hashtbl.remove model (p, l)
+            end
+            else begin
+              Dir.insert dir ~prefix:p ~len:l nh;
+              Hashtbl.replace model (p, l) nh
+            end)
+          ops;
+        let trie = Lpm.create () in
+        Hashtbl.iter
+          (fun (p, l) nh -> Lpm.add trie ~prefix:p ~len:l nh)
+          model;
+        if Dir.count dir <> Hashtbl.length model then
+          QCheck.Test.fail_reportf "count %d, model %d" (Dir.count dir)
+            (Hashtbl.length model);
+        let st = Random.State.make [| 99 |] in
+        let probe addr =
+          if Lpm.lookup trie addr <> Dir.lookup dir addr then
+            QCheck.Test.fail_reportf "lookup %s: trie %s, dir %s"
+              (Ipv4.addr_to_string addr)
+              (match Lpm.lookup trie addr with
+              | None -> "miss"
+              | Some v -> string_of_int v)
+              (match Dir.lookup dir addr with
+              | None -> "miss"
+              | Some v -> string_of_int v)
+        in
+        for _ = 1 to 300 do
+          probe (Random.State.int st 0x3fffffff * 4)
+        done;
+        (* Probe each surviving route's own cone and its fringe. *)
+        Hashtbl.iter
+          (fun (p, l) _ ->
+            probe p;
+            probe (p lor (0xffffffff land lnot (mask_of_len l)));
+            probe (p lxor 0x10000))
+          model;
+        true);
+  ]
+
 let tests =
-  unit_tests @ boundary_tests @ List.map QCheck_alcotest.to_alcotest props
+  unit_tests @ boundary_tests @ churn_tests
+  @ List.map QCheck_alcotest.to_alcotest (props @ churn_props)
