@@ -26,6 +26,7 @@ ci: build
 	dune exec bin/vdpverify.exe -- replay --engine compiled examples/firewall.click
 	dune exec bin/vdpverify.exe -- pump -n 20000 --engine compiled examples/router.click
 	dune exec bench/main.exe -- e1
+	VDP_E7_SMOKE=1 dune exec bench/main.exe -- e7
 	dune exec bench/main.exe -- e8
 	VDP_E9_SMOKE=1 dune exec bench/main.exe -- e9
 	VDP_E10_SMOKE=1 dune exec bench/main.exe -- e10

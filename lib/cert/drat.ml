@@ -42,9 +42,11 @@ type db = {
   mutable alive : bool array;
   mutable n : int;  (* arena entries used *)
   mutable live : int;  (* alive clauses *)
-  occ : (int, int list ref) Hashtbl.t;  (* literal -> arena indices *)
-  index : (int list, int list ref) Hashtbl.t;
-      (* sorted literals -> live arena indices, for deletion lookup *)
+  mutable occ : int list array;  (* literal -> arena indices *)
+  mutable index : (int list, int list ref) Hashtbl.t option;
+      (* sorted literals -> live arena indices, for deletion lookup;
+         built on the first deletion step — backward-trimmed traces
+         contain none, so they never pay for keying inserts *)
   mutable assign : int array;  (* var -> unknown / v_true / v_false *)
   mutable trail : int array;  (* literals assigned true, in order *)
   mutable trail_len : int;
@@ -58,8 +60,8 @@ let create () =
     alive = Array.make 64 false;
     n = 0;
     live = 0;
-    occ = Hashtbl.create 256;
-    index = Hashtbl.create 256;
+    occ = Array.make 128 [];
+    index = None;
     assign = Array.make 64 unknown;
     trail = Array.make 64 0;
     trail_len = 0;
@@ -72,7 +74,16 @@ let ensure_var db v =
     let arr = Array.make (max (v + 1) (2 * Array.length db.assign)) unknown in
     Array.blit db.assign 0 arr 0 (Array.length db.assign);
     db.assign <- arr
+  end;
+  if (2 * v) + 1 >= Array.length db.occ then begin
+    let arr = Array.make (max ((2 * v) + 2) (2 * Array.length db.occ)) [] in
+    Array.blit db.occ 0 arr 0 (Array.length db.occ);
+    db.occ <- arr
   end
+
+(* Occurrences of literal [l]; a literal the database has never seen
+   simply occurs nowhere. *)
+let occ_ids db l = if l < Array.length db.occ then db.occ.(l) else []
 
 let lit_state db l =
   let a = db.assign.(var l) in
@@ -103,13 +114,16 @@ let undo_to db mark =
 
 let sorted_key lits = List.sort Stdlib.compare (Array.to_list lits)
 
-let occ_list db l =
-  match Hashtbl.find_opt db.occ l with
-  | Some r -> r
-  | None ->
-    let r = ref [] in
-    Hashtbl.add db.occ l r;
-    r
+let index_add index key id =
+  let r =
+    match Hashtbl.find_opt index key with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add index key r;
+      r
+  in
+  r := id :: !r
 
 let insert db lits =
   if db.n = Array.length db.clauses then begin
@@ -128,24 +142,28 @@ let insert db lits =
   Array.iter
     (fun l ->
       ensure_var db (var l);
-      let r = occ_list db l in
-      r := id :: !r)
+      db.occ.(l) <- id :: db.occ.(l))
     lits;
-  let key = sorted_key lits in
-  let r =
-    match Hashtbl.find_opt db.index key with
-    | Some r -> r
-    | None ->
-      let r = ref [] in
-      Hashtbl.add db.index key r;
-      r
-  in
-  r := id :: !r;
+  (match db.index with
+  | None -> ()
+  | Some index -> index_add index (sorted_key lits) id);
   id
 
+(* First deletion: key every live clause. Ids are pushed in arena order,
+   so the head of each bucket is the most recent insert — the same
+   clause a per-insert index would have deleted first. *)
+let build_index db =
+  let index = Hashtbl.create 256 in
+  for id = 0 to db.n - 1 do
+    if db.alive.(id) then index_add index (sorted_key db.clauses.(id)) id
+  done;
+  db.index <- Some index;
+  index
+
 let delete db lits =
+  let index = match db.index with Some i -> i | None -> build_index db in
   let key = sorted_key lits in
-  match Hashtbl.find_opt db.index key with
+  match Hashtbl.find_opt index key with
   | Some ({ contents = id :: rest } as r) ->
     r := rest;
     db.alive.(id) <- false;
@@ -184,17 +202,14 @@ let propagate db qhead =
   while (not !conflict) && !q < db.trail_len do
     let l = db.trail.(!q) in
     incr q;
-    (match Hashtbl.find_opt db.occ (neg l) with
-    | None -> ()
-    | Some ids ->
-      List.iter
-        (fun id ->
-          if (not !conflict) && db.alive.(id) then
-            match scan_clause db db.clauses.(id) with
-            | Conflict -> conflict := true
-            | Unit u -> assign_true db u
-            | Satisfied | Open -> ())
-        !ids)
+    List.iter
+      (fun id ->
+        if (not !conflict) && db.alive.(id) then
+          match scan_clause db db.clauses.(id) with
+          | Conflict -> conflict := true
+          | Unit u -> assign_true db u
+          | Satisfied | Open -> ())
+      (occ_ids db (neg l))
   done;
   !conflict
 
@@ -253,12 +268,9 @@ let rat db lits =
   &&
   let pivot = lits.(0) in
   let ok = ref true in
-  (match Hashtbl.find_opt db.occ (neg pivot) with
-  | None -> ()
-  | Some ids ->
-    List.iter
-      (fun id ->
-        if !ok && db.alive.(id) then begin
+  List.iter
+    (fun id ->
+      if !ok && db.alive.(id) then begin
           let d = db.clauses.(id) in
           let resolvent =
             Array.append lits
@@ -275,7 +287,7 @@ let rat db lits =
           in
           if not (tautology || rup db resolvent) then ok := false
         end)
-      !ids);
+    (occ_ids db (neg pivot));
   !ok
 
 type outcome = (unit, string) result

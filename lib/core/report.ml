@@ -75,7 +75,14 @@ let pp_solver_stats fmt (s : Vdp_smt.Solver.stats) =
     s.SS.sat_clauses s.SS.gate_hits gate_total
     (if gate_total = 0 then 0.
      else 100. *. float_of_int s.SS.gate_hits /. float_of_int gate_total)
-    s.SS.learned_deleted s.SS.preprocess_time s.SS.blast_time s.SS.sat_time
+    s.SS.learned_deleted s.SS.preprocess_time s.SS.blast_time s.SS.sat_time;
+  if s.SS.sched_spawned > 0 then
+    Format.fprintf fmt
+      "@,scheduler: %d tasks (%d executed, %d stolen); busy %.2fs, idle \
+       %.2fs; durations <1ms:%d <10ms:%d <100ms:%d <1s:%d >=1s:%d"
+      s.SS.sched_spawned s.SS.sched_executed s.SS.sched_stolen s.SS.sched_busy
+      s.SS.sched_idle s.SS.sched_hist.(0) s.SS.sched_hist.(1)
+      s.SS.sched_hist.(2) s.SS.sched_hist.(3) s.SS.sched_hist.(4)
 
 (** Certification summary: how each refuted suspect-path query was
     discharged and whether the independent checkers accepted it. *)
@@ -83,10 +90,12 @@ let pp_cert_summary fmt (c : Vdp_cert.Certificate.summary) =
   let module C = Vdp_cert.Certificate in
   Format.fprintf fmt
     "certificates: %d/%d refutations certified (%d folded, %d interval, %d \
-     DRAT, %d by provenance); %d proof clauses, %d deletions; re-solve \
-     %.2fs, check %.2fs"
+     DRAT, %d by provenance, %d proof-cache hits); %d proof clauses, %d \
+     deletions; trimming kept %d of %d logged additions; re-solve %.2fs, \
+     check %.2fs"
     c.C.certified c.C.attempted c.C.folded c.C.interval c.C.drat c.C.cached
-    c.C.proof_clauses c.C.proof_deletions c.C.solve_seconds c.C.check_seconds;
+    c.C.pcache_hits c.C.proof_clauses c.C.proof_deletions c.C.trimmed_clauses
+    c.C.untrimmed_clauses c.C.solve_seconds c.C.check_seconds;
   if c.C.failed > 0 then begin
     Format.fprintf fmt "@,  %d UNCERTIFIED" c.C.failed;
     List.iter (fun m -> Format.fprintf fmt "@,    %s" m) c.C.failures

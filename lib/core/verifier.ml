@@ -25,15 +25,15 @@
 
     With [config.jobs > 1] both steps run on a {!Pool} of that many
     domains. Step 1 fans the distinct element symbex jobs out (they
-    share nothing but the domain-safe term table). Step 2 expands the
-    composite tree breadth-first — pure {!Compose} work, no solver —
-    until there are enough independent subtrees, then distributes them:
-    each subtree worker carries its own incremental context seeded with
-    the subtree root's accumulated constraints, while terminal checks
-    discovered during expansion are solved flat against the shared
-    query cache. Work items stay in DFS order and results are merged in
-    that order, so verdicts, violation lists and bound witnesses are
-    ordered exactly as the sequential DFS produces them. *)
+    share nothing but the domain-safe term table). Step 2 runs as a
+    fine-grained task graph on the pool's helping scheduler: every
+    composite tree node and every terminal feasibility check is its
+    own dynamically-spawned task, each pool domain keeps one
+    persistent incremental solver context that it re-seeds per task,
+    and every parent merges its children's results in spawn (= DFS)
+    order — so verdicts, violation lists and bound witnesses are
+    ordered exactly as the sequential DFS produces them. See
+    {!section-worksteal} below. *)
 
 module B = Vdp_bitvec.Bitvec
 module T = Vdp_smt.Term
@@ -70,9 +70,9 @@ type config = {
   jobs : int;
       (** domains used for Step-1 symbex and Step-2 suspect checking;
           1 (the default) keeps everything on the calling domain.
-          Note: [max_composite_paths] is then enforced per subtree, so
-          a parallel run may explore up to [jobs] times more composite
-          states before giving up. *)
+          Parallel runs enforce [max_composite_paths] through one
+          atomic counter shared by all tasks, so the budget is global
+          (tasks already in flight when it trips still finish). *)
   certify : bool;
       (** produce and independently check a proof certificate for every
           refuted suspect-path query ({!Vdp_cert.Certificate}); the
@@ -173,7 +173,9 @@ type step2 =
 let make_step2 cfg =
   let cache = if cfg.cache then Some Solver.shared_cache else None in
   if cfg.incremental then
-    Incremental (Solver.create_ctx ?cache ~preprocess:cfg.preprocess ())
+    Incremental
+      (Solver.create_ctx ?cache ~preprocess:cfg.preprocess
+         ~track_core:cfg.certify ())
   else Flat (cache, cfg.preprocess)
 
 let make_flat cfg =
@@ -192,14 +194,6 @@ let enter step2 (st : Compose.t) =
 let leave = function
   | Flat _ -> ()
   | Incremental c -> Solver.pop c
-
-(* Load a subtree root into a fresh context: assert the whole
-   accumulated prefix at the root scope (a parallel worker starts
-   mid-tree, so there is no chain of [enter]s to rebuild it). *)
-let seed step2 (st : Compose.t) =
-  match step2 with
-  | Flat _ -> ()
-  | Incremental c -> Solver.assert_terms c (List.rev st.Compose.cond)
 
 (* Check feasibility of [st.cond @ extra]. Incremental-mode invariant:
    the context currently holds [st.cond]. *)
@@ -252,12 +246,23 @@ let make_cert cfg =
          ~max_conflicts:cfg.solver_budget ())
   else None
 
-let certify_refuted cert (st : Compose.t) =
+(* Hand the certificate producer what the answering solver already
+   knows: the preprocessing result (so the proof cache is keyed exactly
+   like the query cache) and the unsat core over the residual conjuncts
+   (so only the core is re-blasted). Flat mode solves one-shot and
+   exposes neither. Must be read before the context runs another
+   check — callers capture the pair synchronously. *)
+let cert_pre_core = function
+  | Incremental c -> (Solver.last_pre c, Solver.last_core c)
+  | Flat _ -> (None, None)
+
+let certify_now cert step2 (st : Compose.t) =
   match cert with
   | None -> ()
   | Some col ->
+    let pre, core = cert_pre_core step2 in
     ignore
-      (Vdp_cert.Certificate.certify_refutation col st.Compose.cond
+      (Vdp_cert.Certificate.certify_refutation ?pre ?core col st.Compose.cond
         : (Vdp_cert.Certificate.t, string) result)
 
 let cert_summary cert = Option.map Vdp_cert.Certificate.summary cert
@@ -338,51 +343,109 @@ let segment_reads_kv (seg : Engine.segment) =
 
 exception Path_budget
 
-(* {1 Parallel partitioning}
+(* {1:worksteal Work-stealing Step-2}
 
-   A work item is either a terminal feasibility check discovered while
-   expanding the composite tree, or a whole subtree still to explore.
-   [build_frontier] expands subtrees breadth-first (in place, so list
-   order remains global DFS order) until at least [target] of them
-   exist — all pure [Compose] work. Every expanded state corresponds
-   1:1 to a sequential [visit] call, so the returned visit count keeps
-   [composite_paths] comparable with the sequential run. *)
+   With [jobs > 1], Step-2 is a dynamic task graph on the {!Pool}
+   helping scheduler instead of a pre-partitioned frontier: every
+   composite tree node ([W_subtree]) and every terminal feasibility
+   check ([W_check]) becomes its own task, spawned as its parent
+   expands. A subtree task is pure [Compose] work — expand one node's
+   segments, spawn a task per work item, await the children and merge;
+   only check tasks touch the solver.
+
+   Each pool domain lazily builds one {e persistent} incremental
+   context and re-seeds it at every check task ("clone on steal": pop
+   all scopes, push one, assert the task's accumulated prefix). The
+   re-seed itself is cheap — scopes are just term lists — while the
+   expensive state (blasted term DAG, gate encodings, learned clauses)
+   stays with the domain across every task it runs. The coarse
+   frontier partitioning this replaces re-rooted each subtree into a
+   brand-new context, re-blasting the shared prefix per subtree and
+   solving all frontier checks flat.
+
+   Determinism: a parent merges child results in spawn (= DFS) order,
+   so violation lists, bound witnesses and counters come out exactly
+   as the sequential DFS orders them. The composite-path budget is one
+   atomic counter shared by every task; a task that finds it exhausted
+   returns a budget-hit marker instead of expanding.
+
+   Check tasks never await anything, so a domain that helps (runs
+   another task while blocked in [Pool.await]) can never interleave
+   two users of its context: only check tasks use the context, and
+   they run to completion before the helping await returns. *)
 
 type 'chk work =
   | W_check of 'chk
   | W_subtree of int * Compose.t
 
-let count_subtrees items =
-  List.fold_left
-    (fun n -> function W_subtree _ -> n + 1 | W_check _ -> n)
-    0 items
-
-let build_frontier ~expand ~target ~max_visits roots =
-  let visits = ref 0 in
-  let rec round items nsub =
-    if nsub = 0 || nsub >= target then (items, !visits)
-    else
-      let items' =
-        List.concat_map
-          (function
-            | W_subtree (node, st) ->
-              incr visits;
-              if !visits > max_visits then raise Path_budget;
-              expand node st
-            | W_check _ as w -> [ w ])
-          items
-      in
-      round items' (count_subtrees items')
-  in
-  round roots (count_subtrees roots)
-
-(* How finely to pre-split: enough subtrees that the atomic-counter
-   queue can balance uneven subtree costs across [jobs] runners. *)
-let frontier_target jobs = max 8 (4 * jobs)
-
 let with_jobs cfg f =
   if cfg.jobs <= 1 then f None
   else Pool.with_pool cfg.jobs (fun pool -> f (Some pool))
+
+(* One persistent Step-2 context per pool domain, built on first use;
+   a fresh key per run keeps runs (and their configs) isolated. *)
+let worker_ctx_key cfg = Domain.DLS.new_key (fun () -> make_step2 cfg)
+
+let reseed step2 (st : Compose.t) =
+  match step2 with
+  | Flat _ -> ()
+  | Incremental c ->
+    while Solver.depth c > 0 do
+      Solver.pop c
+    done;
+    Solver.push c;
+    Solver.assert_terms c (List.rev st.Compose.cond)
+
+(* Fold the pool's scheduler counters into the global solver stats;
+   the bench harness reports them alongside the solver counters. *)
+let record_sched pool =
+  let ps = Pool.stats pool in
+  let g = Solver.stats in
+  g.Solver.sched_spawned <- g.Solver.sched_spawned + ps.Pool.spawned;
+  g.Solver.sched_executed <- g.Solver.sched_executed + ps.Pool.executed;
+  g.Solver.sched_stolen <- g.Solver.sched_stolen + ps.Pool.stolen;
+  g.Solver.sched_busy <- g.Solver.sched_busy +. ps.Pool.busy_seconds;
+  g.Solver.sched_idle <- g.Solver.sched_idle +. ps.Pool.idle_seconds;
+  Array.iteri
+    (fun i n -> g.Solver.sched_hist.(i) <- g.Solver.sched_hist.(i) + n)
+    ps.Pool.hist
+
+(* Certificates are produced and checked as their own pool tasks, so
+   proof production/checking overlaps ongoing solving instead of
+   serializing after each refutation. The answering context's
+   preprocessing result and unsat core must be captured synchronously
+   (the context is re-seeded by the domain's next task); only the
+   produce-and-check work is deferred. The futures are drained before
+   the run reads its certification summary. *)
+type cert_queue = {
+  cq_mutex : Mutex.t;
+  mutable cq_futs : unit Pool.future list;
+}
+
+let make_cert_queue () = { cq_mutex = Mutex.create (); cq_futs = [] }
+
+let async_cert pool q cert step2 (st : Compose.t) =
+  match cert with
+  | None -> ()
+  | Some col ->
+    let pre, core = cert_pre_core step2 in
+    let cond = st.Compose.cond in
+    let fut =
+      Pool.spawn pool (fun () ->
+          ignore
+            (Vdp_cert.Certificate.certify_refutation ?pre ?core col cond
+              : (Vdp_cert.Certificate.t, string) result))
+    in
+    Mutex.lock q.cq_mutex;
+    q.cq_futs <- fut :: q.cq_futs;
+    Mutex.unlock q.cq_mutex
+
+let drain_certs pool q =
+  Mutex.lock q.cq_mutex;
+  let futs = q.cq_futs in
+  q.cq_futs <- [];
+  Mutex.unlock q.cq_mutex;
+  List.iter (fun f -> Pool.await pool f) futs
 
 (* Step-2 counters produced by one worker, merged positionally. *)
 let merge_counters into (from : stats) =
@@ -407,14 +470,14 @@ let merge_counters into (from : stats) =
    over-approximation): only there do drop/emit segments need the
    per-path dip check, so headroom-safe pipelines pay nothing. *)
 let crash_visitor cfg pl nodes (summaries : Summaries.entry array)
-    has_suspect danger ~(stats : stats) ~violations ~unknowns ~cert step2 =
+    has_suspect danger ~(stats : stats) ~violations ~unknowns ~certify step2 =
   let check_one ?outcome node (seg : Engine.segment) (st' : Compose.t) =
     stats.suspect_checks <- stats.suspect_checks + 1;
     enter step2 st';
     (match check_small step2 ~max_conflicts:cfg.solver_budget st' with
     | Solver.Unsat ->
       stats.refuted <- stats.refuted + 1;
-      certify_refuted cert st'
+      certify st'
     | Solver.Unknown ->
       stats.unknown_checks <- stats.unknown_checks + 1;
       incr unknowns
@@ -608,55 +671,62 @@ let check_crash_freedom ?(config = default_config) (pl : Click.Pipeline.t) :
   let t0 = now () in
   let violations, unknowns, budget_hit =
     match pool with
-    | Some pool when Pool.size pool > 1 && has_suspect.(entry) -> (
-      let st0 = initial_state config in
-      match
-        build_frontier
-          ~expand:(crash_expand nodes summaries has_suspect danger)
-          ~target:(frontier_target config.jobs)
-          ~max_visits:config.max_composite_paths
-          [ W_subtree (entry, st0) ]
-      with
-      | exception Path_budget -> ([], 0, true)
-      | items, visits ->
-        stats.composite_paths <- stats.composite_paths + visits;
-        let process item =
-          let local = fresh_stats () in
-          let violations = ref [] and unknowns = ref 0 in
-          let budget_hit =
-            match item with
-            | W_check { cc_node; cc_seg; cc_st; cc_outcome } ->
-              let step2 = make_flat config in
-              let check_one, _ =
-                crash_visitor config pl nodes summaries has_suspect danger
-                  ~stats:local ~violations ~unknowns ~cert step2
-              in
-              check_one ?outcome:cc_outcome cc_node cc_seg cc_st;
-              false
-            | W_subtree (node, st) -> (
-              let step2 = make_step2 config in
-              seed step2 st;
-              let _, visit =
-                crash_visitor config pl nodes summaries has_suspect danger
-                  ~stats:local ~violations ~unknowns ~cert step2
-              in
-              try visit node st; false with Path_budget -> true)
-          in
-          (local, List.rev !violations, !unknowns, budget_hit)
+    | Some pool when Pool.size pool > 1 && has_suspect.(entry) ->
+      let key = worker_ctx_key config in
+      let visits = Atomic.make 0 in
+      let cq = make_cert_queue () in
+      (* A check task re-seeds its domain's context with the state
+         {e before} the crash segment ([check_one] enters/leaves the
+         crash state itself, mirroring the sequential DFS). *)
+      let check_leaf { cc_node; cc_seg; cc_st; cc_outcome } st_parent () =
+        let local = fresh_stats () in
+        let violations = ref [] and unknowns = ref 0 in
+        let step2 = Domain.DLS.get key in
+        reseed step2 st_parent;
+        let check_one, _ =
+          crash_visitor config pl nodes summaries has_suspect danger
+            ~stats:local ~violations ~unknowns
+            ~certify:(fun st -> async_cert pool cq cert step2 st)
+            step2
         in
-        let results = Pool.map pool process (Array.of_list items) in
-        Array.fold_left
-          (fun (vs, unk, bh) (local, vs_i, unk_i, bh_i) ->
-            merge_counters stats local;
-            (vs @ vs_i, unk + unk_i, bh || bh_i))
-          ([], 0, false) results)
+        check_one ?outcome:cc_outcome cc_node cc_seg cc_st;
+        (List.rev !violations, !unknowns, local, false)
+      in
+      let rec subtree node st () =
+        let local = fresh_stats () in
+        local.composite_paths <- 1;
+        if Atomic.fetch_and_add visits 1 >= config.max_composite_paths then
+          ([], 0, local, true)
+        else
+          let futs =
+            List.map
+              (function
+                | W_check chk -> Pool.spawn pool (check_leaf chk st)
+                | W_subtree (dst, st') -> Pool.spawn pool (subtree dst st'))
+              (crash_expand nodes summaries has_suspect danger node st)
+          in
+          List.fold_left
+            (fun (vs, unk, acc, bh) fut ->
+              let vs_i, unk_i, s_i, bh_i = Pool.await pool fut in
+              merge_counters acc s_i;
+              (vs @ vs_i, unk + unk_i, acc, bh || bh_i))
+            ([], 0, local, false) futs
+      in
+      let st0 = initial_state config in
+      let vs, unk, s, bh =
+        Pool.await pool (Pool.spawn pool (subtree entry st0))
+      in
+      merge_counters stats s;
+      drain_certs pool cq;
+      record_sched pool;
+      (vs, unk, bh)
     | _ ->
       let step2 = make_step2 config in
       let violations = ref [] in
       let unknowns = ref 0 in
       let _, visit =
         crash_visitor config pl nodes summaries has_suspect danger ~stats
-          ~violations ~unknowns ~cert step2
+          ~violations ~unknowns ~certify:(certify_now cert step2) step2
       in
       let budget_hit =
         try
@@ -758,7 +828,7 @@ let rec atomic_max a v =
    it never loses the maximum, so the bound stays deterministic; which
    equal-length witness is kept (and the check count) may vary. *)
 let bound_visitor cfg nodes (summaries : Summaries.entry array)
-    ~(stats : stats) ~best ~hint ~unknown_hi ~completed ~cert step2 =
+    ~(stats : stats) ~best ~hint ~unknown_hi ~completed ~certify step2 =
   let record_unknown (st : Compose.t) =
     stats.unknown_checks <- stats.unknown_checks + 1;
     if st.Compose.instr_hi > !unknown_hi then unknown_hi := st.Compose.instr_hi
@@ -782,7 +852,7 @@ let bound_visitor cfg nodes (summaries : Summaries.entry array)
         best := Some (st'.Compose.instr_hi, st', model)
       | Solver.Unsat ->
         stats.refuted <- stats.refuted + 1;
-        certify_refuted cert st'
+        certify st'
       | Solver.Unknown -> record_unknown st');
       leave step2
     end
@@ -853,93 +923,90 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
   (* (final state, ended-in-crash) — flat mode only *)
   let budget_hit =
     match pool with
-    | Some pool when Pool.size pool > 1 -> (
-      let st0 = initial_state config in
-      match
-        build_frontier
-          ~expand:(bound_expand nodes summaries)
-          ~target:(frontier_target config.jobs)
-          ~max_visits:config.max_composite_paths
-          [ W_subtree (Click.Pipeline.entry pl, st0) ]
-      with
-      | exception Path_budget -> true
-      | items, visits ->
-        stats.composite_paths <- stats.composite_paths + visits;
-        let process item =
-          let local = fresh_stats () in
-          let best_l = ref None and unknown_hi_l = ref (-1) in
-          let completed_l = ref [] in
-          let budget_hit =
-            match item with
-            | W_check (st, crashed) ->
-              (* A path completed during expansion: in incremental mode
-                 check it now (flat — there is no shared prefix left to
-                 exploit); in flat mode just collect it. *)
-              if config.incremental then begin
-                if st.Compose.instr_hi > Atomic.get hint then begin
-                  let step2 = make_flat config in
-                  local.suspect_checks <- local.suspect_checks + 1;
-                  match
-                    check_state step2 ~max_conflicts:config.solver_budget st
-                      []
-                  with
-                  | Solver.Sat model ->
-                    atomic_max hint st.Compose.instr_hi;
-                    best_l := Some (st.Compose.instr_hi, st, model)
-                  | Solver.Unsat ->
-                    local.refuted <- local.refuted + 1;
-                    certify_refuted cert st
-                  | Solver.Unknown ->
-                    local.unknown_checks <- local.unknown_checks + 1;
-                    if st.Compose.instr_hi > !unknown_hi_l then
-                      unknown_hi_l := st.Compose.instr_hi
-                end
-              end
-              else completed_l := [ (st, crashed) ];
-              false
-            | W_subtree (node, st) -> (
-              let step2 = make_step2 config in
-              seed step2 st;
-              let _, _, visit =
-                bound_visitor config nodes summaries ~stats:local
-                  ~best:best_l ~hint ~unknown_hi:unknown_hi_l
-                  ~completed:completed_l ~cert step2
-              in
-              try visit node st; false with Path_budget -> true)
+    | Some pool when Pool.size pool > 1 ->
+      let key = worker_ctx_key config in
+      let visits = Atomic.make 0 in
+      let cq = make_cert_queue () in
+      (* A completed path: in incremental mode check it now on the
+         domain's re-seeded context (the shared [hint] prunes paths
+         that cannot raise the maximum); in flat mode just collect it
+         for the longest-first search below. Task result:
+         (best, unknown_hi, completed in DFS order, counters, budget). *)
+      let check_leaf (st, crashed) () =
+        let local = fresh_stats () in
+        if not config.incremental then
+          (None, -1, [ (st, crashed) ], local, false)
+        else if st.Compose.instr_hi <= Atomic.get hint then
+          (None, -1, [], local, false)
+        else begin
+          let step2 = Domain.DLS.get key in
+          reseed step2 st;
+          local.suspect_checks <- 1;
+          match
+            check_state step2 ~max_conflicts:config.solver_budget st []
+          with
+          | Solver.Sat model ->
+            atomic_max hint st.Compose.instr_hi;
+            (Some (st.Compose.instr_hi, st, model), -1, [], local, false)
+          | Solver.Unsat ->
+            local.refuted <- 1;
+            async_cert pool cq cert step2 st;
+            (None, -1, [], local, false)
+          | Solver.Unknown ->
+            local.unknown_checks <- 1;
+            (None, st.Compose.instr_hi, [], local, false)
+        end
+      in
+      let rec subtree node st () =
+        let local = fresh_stats () in
+        local.composite_paths <- 1;
+        if Atomic.fetch_and_add visits 1 >= config.max_composite_paths then
+          (None, -1, [], local, true)
+        else
+          let futs =
+            List.map
+              (function
+                | W_check chk -> Pool.spawn pool (check_leaf chk)
+                | W_subtree (dst, st') -> Pool.spawn pool (subtree dst st'))
+              (bound_expand nodes summaries node st)
           in
-          (local, !best_l, !unknown_hi_l, !completed_l, budget_hit)
-        in
-        let results = Pool.map pool process (Array.of_list items) in
-        (* Merge in item order: a later candidate replaces the best
-           only if strictly longer, so ties resolve to the first in
-           global DFS order — the same path the sequential DFS keeps. *)
-        let bh = ref false in
-        Array.iter
-          (fun (local, best_i, unknown_hi_i, _, bh_i) ->
-            merge_counters stats local;
-            (match best_i with
-            | Some (b, _, _)
-              when (match !best with
-                   | None -> true
-                   | Some (b0, _, _) -> b > b0) ->
-              best := best_i
-            | _ -> ());
-            if unknown_hi_i > !unknown_hi then unknown_hi := unknown_hi_i;
-            if bh_i then bh := true)
-          results;
-        (* Flat mode: reassemble the completed-paths list in the exact
-           reverse-DFS order the sequential push-front loop builds, so
-           the stable longest-first sort below breaks ties identically. *)
-        completed :=
-          Array.fold_left
-            (fun acc (_, _, _, completed_i, _) -> completed_i @ acc)
-            [] results;
-        !bh)
+          (* Merge in spawn order: a later candidate replaces the best
+             only if strictly longer, so ties resolve to the first in
+             global DFS order — the same path the sequential DFS
+             keeps. *)
+          List.fold_left
+            (fun (b, uhi, comp, acc, bh) fut ->
+              let b_i, uhi_i, comp_i, s_i, bh_i = Pool.await pool fut in
+              merge_counters acc s_i;
+              let b' =
+                match (b, b_i) with
+                | None, _ -> b_i
+                | Some _, None -> b
+                | Some (x, _, _), Some (y, _, _) -> if y > x then b_i else b
+              in
+              (b', max uhi uhi_i, comp @ comp_i, acc, bh || bh_i))
+            (None, -1, [], local, false) futs
+      in
+      let st0 = initial_state config in
+      let b, uhi, comp, s, bh =
+        Pool.await pool
+          (Pool.spawn pool (subtree (Click.Pipeline.entry pl) st0))
+      in
+      merge_counters stats s;
+      best := b;
+      if uhi > !unknown_hi then unknown_hi := uhi;
+      (* Flat mode: the sequential push-front loop builds the list in
+         reverse-DFS order; match it so the stable longest-first sort
+         below breaks ties identically. *)
+      completed := List.rev comp;
+      drain_certs pool cq;
+      record_sched pool;
+      bh
     | _ -> (
       let step2 = make_step2 config in
       let _, _, visit =
         bound_visitor config nodes summaries ~stats ~best ~hint ~unknown_hi
-          ~completed ~cert step2
+          ~completed ~certify:(certify_now cert step2) step2
       in
       try
         let st0 = initial_state config in
@@ -969,7 +1036,7 @@ let instruction_bound ?(config = default_config) (pl : Click.Pipeline.t) :
          | Solver.Sat model -> best := Some (st.Compose.instr_hi, st, model)
          | Solver.Unsat ->
            stats.refuted <- stats.refuted + 1;
-           certify_refuted cert st;
+           certify_now cert (make_flat config) st;
            search rest
          | Solver.Unknown ->
            stats.unknown_checks <- stats.unknown_checks + 1;
@@ -1052,14 +1119,14 @@ let expect_of_end = function
 (* The reachability DFS body. [check_end] expects the context to hold
    [st.cond] already (its caller entered the state). *)
 let reach_visitor cfg pl nodes (summaries : Summaries.entry array) ~bad
-    ~(stats : stats) ~violations ~unknowns ~cert step2 =
+    ~(stats : stats) ~violations ~unknowns ~certify step2 =
   let check_end node (st : Compose.t) outcome path_end =
     if bad path_end then begin
       stats.suspect_checks <- stats.suspect_checks + 1;
       match check_small step2 ~max_conflicts:cfg.solver_budget st with
       | Solver.Unsat ->
         stats.refuted <- stats.refuted + 1;
-        certify_refuted cert st
+        certify st
       | Solver.Unknown ->
         stats.unknown_checks <- stats.unknown_checks + 1;
         incr unknowns
@@ -1164,55 +1231,62 @@ let check_reachability ?(config = default_config) ~bad (pl : Click.Pipeline.t)
   let t0 = now () in
   let violations, unknowns, budget_hit =
     match pool with
-    | Some pool when Pool.size pool > 1 -> (
-      let st0 = initial_state config in
-      match
-        build_frontier
-          ~expand:(reach_expand pl nodes summaries ~bad)
-          ~target:(frontier_target config.jobs)
-          ~max_visits:config.max_composite_paths
-          [ W_subtree (Click.Pipeline.entry pl, st0) ]
-      with
-      | exception Path_budget -> ([], 0, true)
-      | items, visits ->
-        stats.composite_paths <- stats.composite_paths + visits;
-        let process item =
-          let local = fresh_stats () in
-          let violations = ref [] and unknowns = ref 0 in
-          let budget_hit =
-            match item with
-            | W_check { rc_node; rc_outcome; rc_end; rc_st } ->
-              let step2 = make_flat config in
-              let check_end, _ =
-                reach_visitor config pl nodes summaries ~bad ~stats:local
-                  ~violations ~unknowns ~cert step2
-              in
-              check_end rc_node rc_st rc_outcome rc_end;
-              false
-            | W_subtree (node, st) -> (
-              let step2 = make_step2 config in
-              seed step2 st;
-              let _, visit =
-                reach_visitor config pl nodes summaries ~bad ~stats:local
-                  ~violations ~unknowns ~cert step2
-              in
-              try visit node st; false with Path_budget -> true)
-          in
-          (local, List.rev !violations, !unknowns, budget_hit)
+    | Some pool when Pool.size pool > 1 ->
+      let key = worker_ctx_key config in
+      let visits = Atomic.make 0 in
+      let cq = make_cert_queue () in
+      (* [check_end] expects the context to hold the path-end state in
+         full, so the check task re-seeds with [rc_st] itself. *)
+      let check_leaf { rc_node; rc_outcome; rc_end; rc_st } () =
+        let local = fresh_stats () in
+        let violations = ref [] and unknowns = ref 0 in
+        let step2 = Domain.DLS.get key in
+        reseed step2 rc_st;
+        let check_end, _ =
+          reach_visitor config pl nodes summaries ~bad ~stats:local
+            ~violations ~unknowns
+            ~certify:(fun st -> async_cert pool cq cert step2 st)
+            step2
         in
-        let results = Pool.map pool process (Array.of_list items) in
-        Array.fold_left
-          (fun (vs, unk, bh) (local, vs_i, unk_i, bh_i) ->
-            merge_counters stats local;
-            (vs @ vs_i, unk + unk_i, bh || bh_i))
-          ([], 0, false) results)
+        check_end rc_node rc_st rc_outcome rc_end;
+        (List.rev !violations, !unknowns, local, false)
+      in
+      let rec subtree node st () =
+        let local = fresh_stats () in
+        local.composite_paths <- 1;
+        if Atomic.fetch_and_add visits 1 >= config.max_composite_paths then
+          ([], 0, local, true)
+        else
+          let futs =
+            List.map
+              (function
+                | W_check chk -> Pool.spawn pool (check_leaf chk)
+                | W_subtree (dst, st') -> Pool.spawn pool (subtree dst st'))
+              (reach_expand pl nodes summaries ~bad node st)
+          in
+          List.fold_left
+            (fun (vs, unk, acc, bh) fut ->
+              let vs_i, unk_i, s_i, bh_i = Pool.await pool fut in
+              merge_counters acc s_i;
+              (vs @ vs_i, unk + unk_i, acc, bh || bh_i))
+            ([], 0, local, false) futs
+      in
+      let st0 = initial_state config in
+      let vs, unk, s, bh =
+        Pool.await pool
+          (Pool.spawn pool (subtree (Click.Pipeline.entry pl) st0))
+      in
+      merge_counters stats s;
+      drain_certs pool cq;
+      record_sched pool;
+      (vs, unk, bh)
     | _ ->
       let violations = ref [] in
       let unknowns = ref 0 in
       let step2 = make_step2 config in
       let _, visit =
         reach_visitor config pl nodes summaries ~bad ~stats ~violations
-          ~unknowns ~cert step2
+          ~unknowns ~certify:(certify_now cert step2) step2
       in
       let budget_hit =
         try

@@ -61,6 +61,39 @@ type proof = {
   mutable ndeletes : int;
 }
 
+(* {1 Antecedent tracking}
+
+   When enabled, every logged clause — problem clauses as asserted and
+   every derived (P_add) step — receives a monotonically increasing
+   {e serial}, and every derivation records which serials it resolved
+   on: the conflicting clause, each reason clause dereferenced by
+   conflict analysis, and the level-0 literals it silently dropped
+   (encoded as [-1 - var] and resolved lazily against the solver's
+   reason graph — level-0 assignments are never undone, so the reasons
+   survive until the walk). On every Unsat exit the solver immediately
+   computes the backward dependency cone from the final conflict.
+
+   Two consumers: {!last_cone_tags} maps the cone back to caller tags
+   attached via [add_clause ~tag] (the incremental front end tags each
+   asserted conjunct, turning the cone into an unsat core over the
+   query's conjuncts), and {!trimmed_proof} restricts a DRAT log to the
+   cone (backward proof trimming: only clauses reachable from the empty
+   clause are kept). Tracking costs one [match] per site when off. *)
+
+type track = {
+  mutable cser : int array;  (* clause arena id -> serial, -1 *)
+  mutable vser : int array;  (* var -> serial of the unit step that
+                                assigned it at level 0, -1 *)
+  mutable next_serial : int;
+  ants : (int, int array) Hashtbl.t;  (* derived serial -> antecedents;
+                                         entries >= 0 are serials,
+                                         [-1 - v] is variable [v] *)
+  tags : (int, int) Hashtbl.t;  (* serial -> caller tag *)
+  mutable orig_ser_rev : int list;  (* serial per [orig_rev] entry *)
+  mutable add_ser_rev : int list;  (* serial per [P_add] step *)
+  mutable cone : (int, unit) Hashtbl.t option;  (* last Unsat's cone *)
+}
+
 type t = {
   mutable nvars : int;
   mutable clauses : clause array;  (* arena; index = clause id *)
@@ -98,6 +131,7 @@ type t = {
   mutable last_reduce : int;       (* [conflicts] at the last reduction *)
   mutable problem_deleted : int;   (* cumulative, [simplify] only *)
   mutable proof : proof option;    (* DRAT log, when enabled *)
+  mutable track : track option;    (* antecedent tracking, when enabled *)
 }
 
 let create ?(reduce_interval = 2000) () =
@@ -134,6 +168,7 @@ let create ?(reduce_interval = 2000) () =
     last_reduce = 0;
     problem_deleted = 0;
     proof = None;
+    track = None;
   }
 
 let enable_proof s =
@@ -169,6 +204,45 @@ let log_orig s lits =
   match s.proof with
   | None -> ()
   | Some p -> p.orig_rev <- lits :: p.orig_rev
+
+let enable_tracking s =
+  if s.track = None then
+    s.track <-
+      Some
+        {
+          cser = Array.make (max 64 (Array.length s.clauses)) (-1);
+          vser = Array.make (max 32 s.nvars) (-1);
+          next_serial = 0;
+          ants = Hashtbl.create 256;
+          tags = Hashtbl.create 64;
+          orig_ser_rev = [];
+          add_ser_rev = [];
+          cone = None;
+        }
+
+let tracking s = s.track <> None
+
+(* Serial for the next [orig_rev] entry / [P_add] step; -1 when off. *)
+let track_orig s tag =
+  match s.track with
+  | None -> -1
+  | Some tr ->
+    let k = tr.next_serial in
+    tr.next_serial <- k + 1;
+    tr.orig_ser_rev <- k :: tr.orig_ser_rev;
+    (match tag with Some t -> Hashtbl.replace tr.tags k t | None -> ());
+    k
+
+let track_add s tag ants =
+  match s.track with
+  | None -> -1
+  | Some tr ->
+    let k = tr.next_serial in
+    tr.next_serial <- k + 1;
+    tr.add_ser_rev <- k :: tr.add_ser_rev;
+    (match ants with [] -> () | _ -> Hashtbl.replace tr.ants k (Array.of_list ants));
+    (match tag with Some t -> Hashtbl.replace tr.tags k t | None -> ());
+    k
 
 let num_vars s = s.nvars
 let num_clauses s = s.nclauses
@@ -257,6 +331,9 @@ let grow_array_bool arr n =
 let new_var s =
   let v = s.nvars in
   s.nvars <- v + 1;
+  (match s.track with
+  | Some tr -> tr.vser <- grow_array tr.vser s.nvars (-1)
+  | None -> ());
   s.assigns <- grow_array s.assigns s.nvars (-1);
   s.levels <- grow_array s.levels s.nvars 0;
   s.reasons <- grow_array s.reasons s.nvars (-1);
@@ -334,12 +411,67 @@ let add_clause_internal s lits learned =
     s.clauses <- arr
   end;
   let activity = if learned then s.cla_inc else 0. in
+  (match s.track with
+  | Some tr -> tr.cser <- grow_array tr.cser (cid + 1) (-1)
+  | None -> ());
   s.clauses.(cid) <- { lits; learned; activity; deleted = false };
   s.nclauses <- cid + 1;
   if learned then s.nlearned <- s.nlearned + 1
   else s.nproblem <- s.nproblem + 1;
   attach_clause s cid;
   cid
+
+(* Backward closure over recorded antecedents from [roots]. Entries
+   >= 0 are serials; [-1 - v] is variable [v], resolved against the
+   live reason graph (only level-0 or assumption-implied variables are
+   ever encoded, and their assignments are still in place whenever a
+   closure is taken — on Unsat, before any backtrack). *)
+let close s roots =
+  match s.track with
+  | None -> Hashtbl.create 1
+  | Some tr ->
+    let cone = Hashtbl.create 64 in
+    let vseen = Hashtbl.create 64 in
+    let stack = ref roots in
+    let push d = stack := d :: !stack in
+    let rec go () =
+      match !stack with
+      | [] -> ()
+      | d :: rest ->
+        stack := rest;
+        (if d >= 0 then begin
+           if not (Hashtbl.mem cone d) then begin
+             Hashtbl.replace cone d ();
+             match Hashtbl.find_opt tr.ants d with
+             | Some deps -> Array.iter push deps
+             | None -> ()
+           end
+         end
+         else begin
+           let v = -1 - d in
+           if not (Hashtbl.mem vseen v) then begin
+             Hashtbl.replace vseen v ();
+             if v < Array.length tr.vser && tr.vser.(v) >= 0 then
+               push tr.vser.(v)
+             else begin
+               let cid = s.reasons.(v) in
+               if cid >= 0 then begin
+                 if tr.cser.(cid) >= 0 then push tr.cser.(cid);
+                 Array.iter (fun l -> push (-1 - lit_var l)) s.clauses.(cid).lits
+               end
+               (* reason -1: a decision or assumption; terminal *)
+             end
+           end
+         end);
+        go ()
+    in
+    go ();
+    cone
+
+let set_cone s roots =
+  match s.track with
+  | None -> ()
+  | Some tr -> tr.cone <- Some (close s roots)
 
 let rec backtrack s level =
   if decision_level s > level then begin
@@ -356,13 +488,14 @@ let rec backtrack s level =
     s.qhead <- bound
   end
 
-and add_clause s lits =
+and add_clause ?tag s lits =
   if not s.unsat then begin
     (* Simplification below inspects the level-0 assignment, so leave any
        decisions from a previous [solve] first. *)
     backtrack s 0;
     let lits = List.sort_uniq Stdlib.compare lits in
     log_orig s lits;
+    let so = track_orig s tag in
     let tautology =
       List.exists (fun l -> List.mem (lit_not l) lits) lits
     in
@@ -372,11 +505,35 @@ and add_clause s lits =
       (* Literals false at level 0 are dropped before storing; the
          shortened clause is RUP w.r.t. the recorded CNF (the dropped
          negations are root-propagated), so it goes into the proof. *)
-      if List.compare_lengths kept lits <> 0 then log_add s kept;
+      let shortened = List.compare_lengths kept lits <> 0 in
+      if shortened then log_add s kept;
+      (* Serial of the clause as stored: the shortening is itself a
+         derived step whose antecedents are the original clause plus
+         the level-0 sources of every dropped literal. *)
+      let eff =
+        if shortened && s.track <> None then
+          track_add s tag
+            (so
+            :: List.filter_map
+                 (fun l ->
+                   if lit_value s l = 0 then Some (-1 - lit_var l) else None)
+                 lits)
+        else so
+      in
       match kept with
-      | [] -> s.unsat <- true
-      | [ l ] -> enqueue s l (-1)
-      | _ -> ignore (add_clause_internal s (Array.of_list kept) false)
+      | [] ->
+        s.unsat <- true;
+        set_cone s [ eff ]
+      | [ l ] ->
+        enqueue s l (-1);
+        (match s.track with
+        | Some tr -> tr.vser.(lit_var l) <- eff
+        | None -> ())
+      | _ ->
+        let cid = add_clause_internal s (Array.of_list kept) false in
+        (match s.track with
+        | Some tr -> tr.cser.(cid) <- eff
+        | None -> ())
     end
   end
 
@@ -493,6 +650,19 @@ let analyze s conflict_cid =
   let index = ref (Vec.len s.trail - 1) in
   let btlevel = ref 0 in
   let continue = ref true in
+  let tracking = s.track <> None in
+  (* Antecedents of the learned clause: every clause this resolution
+     chain dereferences, plus the level-0 variables it silently drops
+     (their unit derivations are needed for the clause to be RUP over a
+     trimmed database). *)
+  let ants = ref [] in
+  let record_clause c =
+    if tracking then
+      match s.track with
+      | Some tr when tr.cser.(c) >= 0 -> ants := tr.cser.(c) :: !ants
+      | _ -> ()
+  in
+  record_clause !cid;
   while !continue do
     let c = s.clauses.(!cid) in
     if c.learned then cla_bump s c;
@@ -509,6 +679,7 @@ let analyze s conflict_cid =
           if s.levels.(v) > !btlevel then btlevel := s.levels.(v)
         end
       end
+      else if tracking && s.levels.(v) = 0 then ants := (-1 - v) :: !ants
     done;
     (* Walk the trail backwards to the next marked literal. *)
     while not s.seen.(lit_var (Vec.get s.trail !index)) do
@@ -520,11 +691,14 @@ let analyze s conflict_cid =
     s.seen.(lit_var pl) <- false;
     decr counter;
     if !counter = 0 then continue := false
-    else cid := s.reasons.(lit_var pl)
+    else begin
+      cid := s.reasons.(lit_var pl);
+      record_clause !cid
+    end
   done;
   let learned_lits = lit_not !p :: !learned in
   List.iter (fun l -> s.seen.(lit_var l) <- false) !learned;
-  (learned_lits, !btlevel)
+  (learned_lits, !btlevel, !ants)
 
 let pick_branch_var s =
   let v = ref (-1) in
@@ -548,7 +722,9 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
      place for [value], so clear it here. *)
   backtrack s 0;
   if s.unsat then Unsat
+    (* keep the cone captured when the database first became unsat *)
   else begin
+    (match s.track with Some tr -> tr.cone <- None | None -> ());
     let assumps = Array.of_list assumptions in
     let status = ref None in
     let restart_idx = ref 0 in
@@ -568,21 +744,45 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
                database itself is unsatisfiable, permanently. *)
             s.unsat <- true;
             log_add s [];
+            (match s.track with
+            | Some tr ->
+              (* Empty clause = conflict clause resolved against the
+                 unit derivations of each of its (all-false) literals. *)
+              let deps =
+                (if tr.cser.(cid) >= 0 then [ tr.cser.(cid) ] else [])
+                @ Array.to_list
+                    (Array.map
+                       (fun l -> -1 - lit_var l)
+                       s.clauses.(cid).lits)
+              in
+              let sa = track_add s None deps in
+              set_cone s [ sa ]
+            | None -> ());
             status := Some Unsat
           end
           else begin
-            let learned, btlevel = analyze s cid in
+            let learned, btlevel, ants = analyze s cid in
             backtrack s btlevel;
             (match learned with
             | [ l ] ->
               log_add s [ l ];
-              enqueue s l (-1)
+              let sa = track_add s None ants in
+              enqueue s l (-1);
+              (match s.track with
+              | Some tr -> tr.vser.(lit_var l) <- sa
+              | None -> ())
             | l :: _ ->
               log_add s learned;
+              let sa = track_add s None ants in
               let lid = add_clause_internal s (Array.of_list learned) true in
+              (match s.track with
+              | Some tr -> tr.cser.(lid) <- sa
+              | None -> ());
               enqueue s l lid
             | [] ->
               log_add s [];
+              let sa = track_add s None ants in
+              set_cone s [ sa ];
               status := Some Unsat);
             var_decay s;
             cla_decay s;
@@ -607,7 +807,10 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) s =
             match lit_value s al with
             | 0 ->
               (* Implied false by the clauses + earlier assumptions:
-                 unsat under these assumptions only. *)
+                 unsat under these assumptions only. The cone is the
+                 dependency closure of the implied assignment, taken
+                 now while the reason graph is still in place. *)
+              set_cone s [ -1 - lit_var al ];
               status := Some Unsat
             | 1 ->
               (* Already implied true; keep the level/index alignment
@@ -647,9 +850,20 @@ let value s v = s.assigns.(v) = 1
 let simplify s =
   if not s.unsat then begin
     backtrack s 0;
-    if propagate s >= 0 then begin
+    let cid = propagate s in
+    if cid >= 0 then begin
       s.unsat <- true;
-      log_add s []
+      log_add s [];
+      match s.track with
+      | Some tr ->
+        let deps =
+          (if tr.cser.(cid) >= 0 then [ tr.cser.(cid) ] else [])
+          @ Array.to_list
+              (Array.map (fun l -> -1 - lit_var l) s.clauses.(cid).lits)
+        in
+        let sa = track_add s None deps in
+        set_cone s [ sa ]
+      | None -> ()
     end
     else
       for cid = 0 to s.nclauses - 1 do
@@ -672,3 +886,41 @@ let simplify s =
         end
       done
   end
+
+(* {1 Cone accessors} *)
+
+let last_cone_tags s =
+  match s.track with
+  | Some { cone = Some cone; tags; _ } ->
+    let acc = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun ser () ->
+        match Hashtbl.find_opt tags ser with
+        | Some tag -> Hashtbl.replace acc tag ()
+        | None -> ())
+      cone;
+    Hashtbl.fold (fun tag () l -> tag :: l) acc []
+  | _ -> []
+
+let trimmed_proof s =
+  match (s.proof, s.track) with
+  | Some p, Some ({ cone = Some cone; _ } as tr) ->
+    (* [orig_rev]/[orig_ser_rev] and the P_add subsequence of
+       [steps_rev]/[add_ser_rev] are newest-first and aligned entry for
+       entry; folding left while prepending restores oldest-first. *)
+    let cnf =
+      List.fold_left2
+        (fun acc lits ser -> if Hashtbl.mem cone ser then lits :: acc else acc)
+        [] p.orig_rev tr.orig_ser_rev
+    in
+    let adds =
+      let padds =
+        List.filter (function P_add _ -> true | P_delete _ -> false)
+          p.steps_rev
+      in
+      List.fold_left2
+        (fun acc step ser -> if Hashtbl.mem cone ser then step :: acc else acc)
+        [] padds tr.add_ser_rev
+    in
+    Some (cnf, adds)
+  | _ -> None

@@ -29,10 +29,12 @@ val lit_not : int -> int
 val lit_var : int -> int
 val lit_is_pos : int -> bool
 
-val add_clause : t -> int list -> unit
+val add_clause : ?tag:int -> t -> int list -> unit
 (** Adding the empty clause (or a clause that simplifies to it at level
     0) makes the instance trivially unsat. May be called after a [Sat]
-    answer; any leftover search trail is undone first. *)
+    answer; any leftover search trail is undone first. [tag] labels the
+    clause for unsat-core extraction via {!last_cone_tags} (only
+    meaningful when {!enable_tracking} is on). *)
 
 type result = Sat | Unsat | Unknown
 
@@ -110,3 +112,31 @@ val proof_cnf : t -> int list list
 
 val proof_sizes : t -> int * int
 (** [(additions, deletions)] logged so far. *)
+
+(** {1 Antecedent tracking: unsat cores and backward proof trimming}
+
+    When enabled (before any clause is added), every asserted clause and
+    every derived clause receives a serial, and each derivation records
+    the serials it resolved on. On every [Unsat] exit — including
+    [Unsat] under assumptions — the solver captures the backward
+    dependency {e cone} of the final conflict before undoing any
+    assignment. The cone supports two queries, valid until the next
+    {!solve} or until another clause refutes the database. *)
+
+val enable_tracking : t -> unit
+val tracking : t -> bool
+
+val last_cone_tags : t -> int list
+(** Tags (from [add_clause ~tag]) of the asserted clauses inside the
+    last [Unsat]'s dependency cone — an unsat core over whatever the
+    caller tagged. Unordered, deduplicated. [[]] if tracking is off or
+    the last answer was not [Unsat]. *)
+
+val trimmed_proof : t -> (int list list * proof_step list) option
+(** Backward-trimmed refutation: the subset of {!proof_cnf} and of the
+    [P_add] steps reachable from the empty clause of the last
+    assumption-free [Unsat], both oldest first and with no deletions.
+    Every kept derived clause is RUP with respect to the clauses kept
+    before it, so the trimmed trace checks as a standard forward DRAT
+    proof with an expected deletion count of 0. [None] unless both
+    proof logging and tracking are on and a cone was captured. *)

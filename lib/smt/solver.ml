@@ -37,6 +37,17 @@ type stats = {
   mutable cert_proof_deletions : int;
   mutable cert_solve_time : float;
   mutable cert_check_time : float;
+  mutable cert_pcache_hits : int;
+  mutable cert_trimmed_clauses : int;  (* proof adds kept after trimming *)
+  mutable cert_untrimmed_clauses : int;  (* proof adds before trimming *)
+  (* Scheduler counters, copied from [Vdp_core.Pool] after a parallel
+     run so they ride the same stats/reporting plumbing. *)
+  mutable sched_spawned : int;
+  mutable sched_executed : int;
+  mutable sched_stolen : int;
+  mutable sched_busy : float;
+  mutable sched_idle : float;
+  mutable sched_hist : int array;  (* <1ms, <10ms, <100ms, <1s, rest *)
 }
 
 let fresh_stats () =
@@ -71,6 +82,15 @@ let fresh_stats () =
     cert_proof_deletions = 0;
     cert_solve_time = 0.;
     cert_check_time = 0.;
+    cert_pcache_hits = 0;
+    cert_trimmed_clauses = 0;
+    cert_untrimmed_clauses = 0;
+    sched_spawned = 0;
+    sched_executed = 0;
+    sched_stolen = 0;
+    sched_busy = 0.;
+    sched_idle = 0.;
+    sched_hist = Array.make 5 0;
   }
 
 (* Process-wide aggregate, kept for compatibility: every context also
@@ -119,7 +139,16 @@ let reset_stats_record s =
   s.cert_proof_clauses <- 0;
   s.cert_proof_deletions <- 0;
   s.cert_solve_time <- 0.;
-  s.cert_check_time <- 0.
+  s.cert_check_time <- 0.;
+  s.cert_pcache_hits <- 0;
+  s.cert_trimmed_clauses <- 0;
+  s.cert_untrimmed_clauses <- 0;
+  s.sched_spawned <- 0;
+  s.sched_executed <- 0;
+  s.sched_stolen <- 0;
+  s.sched_busy <- 0.;
+  s.sched_idle <- 0.;
+  Array.fill s.sched_hist 0 (Array.length s.sched_hist) 0
 
 let reset_stats () = reset_stats_record stats
 
@@ -276,7 +305,8 @@ let cache_store sts cache id outcome deps =
    re-validates against the original conjunction, so neither a
    preprocessing nor a blasting bug can produce a bogus
    counterexample. *)
-let check_conj sts ?cache ?(deps = []) ~preprocess terms ~blast_and_solve =
+let check_conj sts ?cache ?(deps = []) ?(on_pre = fun _ -> ()) ~preprocess
+    terms ~blast_and_solve =
   tally sts (fun s -> s.calls <- s.calls + 1);
   let raw = Term.and_ terms in
   if Term.is_false raw then begin
@@ -294,6 +324,7 @@ let check_conj sts ?cache ?(deps = []) ~preprocess terms ~blast_and_solve =
       s.preprocess_time <- s.preprocess_time +. (now () -. t0);
       s.eliminated_conjuncts <- s.eliminated_conjuncts + pre.Preprocess.eliminated;
       s.sliced_conjuncts <- s.sliced_conjuncts + pre.Preprocess.sliced);
+  on_pre pre;
   let key = pre.Preprocess.key in
   let accept m =
     let m = Preprocess.complete pre m in
@@ -400,17 +431,29 @@ type ctx = {
   cstats : stats;
   cache : Cache.t option;
   preprocess : bool;
+  track_core : bool;
   mutable checks : int;  (* solved (non-cached) checks, for simplify cadence *)
+  (* Residue of the last [check_ctx], for certificate producers: the
+     preprocessing result (so the certifier shares the exact
+     preprocessed key the query cache and proof cache use) and, when
+     [track_core] and the answer was [Unsat], the unsat core — the
+     subset of residual conjuncts inside the SAT solver's dependency
+     cone. Both are [None] when the check exited before that stage. *)
+  mutable last_pre : Preprocess.result option;
+  mutable last_core : Term.t list option;
 }
 
-let create_ctx ?cache ?(preprocess = true) () =
+let create_ctx ?cache ?(preprocess = true) ?(track_core = false) () =
   {
-    bb = Bitblast.create ();
+    bb = Bitblast.create ~track:track_core ();
     scopes = [ { asserted = [] } ];
     cstats = fresh_stats ();
     cache;
     preprocess;
+    track_core;
     checks = 0;
+    last_pre = None;
+    last_core = None;
   }
 
 let ctx_stats ctx = ctx.cstats
@@ -435,9 +478,15 @@ let assert_term ctx t = assert_terms ctx [ t ]
 
 let asserted ctx = List.concat_map (fun sc -> sc.asserted) ctx.scopes
 
+let last_pre ctx = ctx.last_pre
+let last_core ctx = ctx.last_core
+
 let check_ctx ?(max_conflicts = max_int) ?deps ctx =
   let sts = [ stats; ctx.cstats ] in
+  ctx.last_pre <- None;
+  ctx.last_core <- None;
   check_conj sts ?cache:ctx.cache ?deps ~preprocess:ctx.preprocess
+    ~on_pre:(fun pre -> ctx.last_pre <- Some pre)
     (asserted ctx)
     ~blast_and_solve:(fun pre ->
       let sat = Bitblast.sat ctx.bb in
@@ -447,8 +496,15 @@ let check_ctx ?(max_conflicts = max_int) ?deps ctx =
       let r =
         instrumented sts ctx.bb
           ~blast:(fun () ->
-            List.iter
-              (fun t -> Bitblast.assert_under ctx.bb ~selector t)
+            if ctx.track_core then
+              (* Tag each residual conjunct's root clause with its index
+                 so an Unsat's dependency cone maps back to a core. *)
+              List.iteri
+                (fun i t -> Bitblast.assert_under ~tag:i ctx.bb ~selector t)
+                pre.Preprocess.conjuncts
+            else
+              List.iter
+                (fun t -> Bitblast.assert_under ctx.bb ~selector t)
               pre.Preprocess.conjuncts)
           ~solve:(fun () ->
             Sat.solve ~max_conflicts ~assumptions:[ selector ] sat)
@@ -458,7 +514,23 @@ let check_ctx ?(max_conflicts = max_int) ?deps ctx =
       let outcome =
         match r with
         | Sat.Sat -> Sat (Bitblast.extract_model ctx.bb)
-        | Sat.Unsat -> Unsat
+        | Sat.Unsat ->
+          if ctx.track_core then begin
+            (* Read the cone before the selector-retiring [add_clause]
+               below touches the solver. Old checks' clauses are
+               level-0-satisfied by their retired selectors, so the
+               cone's tags all index into {e this} check's conjuncts. *)
+            let arr = Array.of_list pre.Preprocess.conjuncts in
+            let core =
+              List.filter_map
+                (fun i ->
+                  if i >= 0 && i < Array.length arr then Some arr.(i)
+                  else None)
+                (Sat.last_cone_tags sat)
+            in
+            ctx.last_core <- Some core
+          end;
+          Unsat
         | Sat.Unknown -> Unknown
       in
       (* Permanently retire the selector: this check's root clauses

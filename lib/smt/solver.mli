@@ -65,6 +65,23 @@ type stats = {
       (** wall seconds re-blasting + re-solving to produce proofs *)
   mutable cert_check_time : float;
       (** wall seconds in the independent checker *)
+  mutable cert_pcache_hits : int;
+      (** refutations discharged by the proof cache (a previously
+          produced-and-checked proof re-checked against this query) *)
+  mutable cert_trimmed_clauses : int;
+      (** DRAT proof additions kept after backward trimming *)
+  mutable cert_untrimmed_clauses : int;
+      (** DRAT proof additions before trimming (the forward log) *)
+  mutable sched_spawned : int;
+      (** scheduler counters, copied from [Vdp_core.Pool] after a
+          parallel run: tasks spawned *)
+  mutable sched_executed : int;  (** tasks executed *)
+  mutable sched_stolen : int;
+      (** tasks executed by a domain other than their spawner *)
+  mutable sched_busy : float;  (** cumulative task execution seconds *)
+  mutable sched_idle : float;  (** cumulative runner wait seconds *)
+  mutable sched_hist : int array;
+      (** task-duration histogram: <1ms, <10ms, <100ms, <1s, rest *)
 }
 
 val stats : stats
@@ -129,9 +146,13 @@ val is_unsat : ?max_conflicts:int -> Term.t list -> bool
 
 type ctx
 
-val create_ctx : ?cache:Cache.t -> ?preprocess:bool -> unit -> ctx
+val create_ctx :
+  ?cache:Cache.t -> ?preprocess:bool -> ?track_core:bool -> unit -> ctx
 (** A fresh context with one root scope. Contexts are not thread-safe;
-    create one per exploration. *)
+    create one per exploration. [track_core] turns on antecedent
+    tracking in the underlying SAT solver: every [Unsat] from
+    {!check_ctx} then exposes an unsat core over the residual conjuncts
+    via {!last_core} (certificate producers blast only that subset). *)
 
 val push : ctx -> unit
 (** Open a new scope; subsequent {!assert_terms} go into it. *)
@@ -161,5 +182,19 @@ val asserted : ctx -> Term.t list
 
 val ctx_stats : ctx -> stats
 (** This context's own counters (also folded into {!stats}). *)
+
+val last_pre : ctx -> Preprocess.result option
+(** Preprocessing result of the most recent {!check_ctx} on this
+    context, when the check got as far as preprocessing (i.e. was not
+    decided by folding or raw interval refutation). Certificate
+    producers reuse it so the certified residual — and the proof-cache
+    key — are exactly the ones the query cache saw. *)
+
+val last_core : ctx -> Term.t list option
+(** Unsat core of the most recent {!check_ctx}, when the context was
+    created with [track_core:true] and the answer was a solver-level
+    [Unsat]: the subset of [last_pre]'s residual conjuncts whose root
+    clauses lie in the SAT solver's dependency cone. Refuting this
+    subset refutes the residual. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -295,6 +295,131 @@ let certificate_tests =
         check_int "failed" 0 s.C.failed);
   ]
 
+(* {1 Backward trimming and the proof cache} *)
+
+(* Two raw queries that preprocess to the same residual: [q2] adds an
+   equality-defined alias that elimination removes, so the raw keys (and
+   the collector's provenance memo) differ while the preprocessed key —
+   the proof-cache key — coincides. *)
+let pcache_q1 () =
+  let a = v16 "pa" and b = v16 "pb" and c = v16 "pc" and d = v16 "pd" in
+  let k = v16 "pk" in
+  [ T.eq k (T.add a b); T.ule k c; T.ule c d; T.ult d k ]
+
+let pcache_q2 () =
+  let m = v16 "pm" and a = v16 "pa" and b = v16 "pb" in
+  pcache_q1 () @ [ T.eq m (T.add b a) ]
+
+let drat_payload_of = function
+  | Ok { C.reason = C.R_drat p; _ } -> Some p
+  | _ -> None
+
+let trimming_tests =
+  [
+    Alcotest.test_case "trimmed solver proof: smaller, deletion-free, checks"
+      `Quick (fun () ->
+        (* The forward log vs its backward cone on a proof with real
+           conflict activity: the trimmed trace must drop clauses, keep
+           no deletions, and still refute the cone-filtered CNF. *)
+        let nvars, clauses = pigeonhole 5 in
+        let s = Sat.create ~reduce_interval:20 () in
+        Sat.enable_proof s;
+        Sat.enable_tracking s;
+        let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+        List.iter
+          (fun c ->
+            Sat.add_clause s
+              (List.map (fun l -> Sat.lit vars.(abs l - 1) (l > 0)) c))
+          clauses;
+        check_bool "unsat" true (Sat.solve s = Sat.Unsat);
+        let forward_adds =
+          List.length
+            (List.filter
+               (function Sat.P_add _ -> true | _ -> false)
+               (Sat.proof_steps s))
+        in
+        match Sat.trimmed_proof s with
+        | None -> Alcotest.fail "expected a trimmed proof"
+        | Some (cnf, steps) ->
+          let adds =
+            List.length
+              (List.filter (function Sat.P_add _ -> true | _ -> false) steps)
+          in
+          let dels =
+            List.length
+              (List.filter
+                 (function Sat.P_delete _ -> true | _ -> false)
+                 steps)
+          in
+          check_bool "strictly fewer additions" true (adds < forward_adds);
+          check_int "no deletions survive trimming" 0 dels;
+          check_bool "trimmed proof checks" true
+            (is_ok
+               (D.check ~expected_deletions:0 ~nvars:(Sat.num_vars s) ~cnf
+                  (to_drat steps))));
+    Alcotest.test_case "certificate proofs are trimmed strictly smaller"
+      `Quick (fun () ->
+        match drat_payload_of (produce ~preprocess:true (pcache_q1 ())) with
+        | None -> Alcotest.fail "expected a drat certificate"
+        | Some p ->
+          let adds =
+            List.length
+              (List.filter (function D.Add _ -> true | _ -> false) p.C.steps)
+          in
+          check_bool "trimmed below the forward log" true
+            (adds < p.C.untrimmed);
+          check_int "deletion-free" 0 p.C.deletions);
+    Alcotest.test_case "proof-cache hit passes the independent checker"
+      `Quick (fun () ->
+        let col = C.create_collector () in
+        check_bool "first certified" true
+          (cert_ok (C.certify_refutation col (pcache_q1 ())));
+        let second = C.certify_refutation col (pcache_q2 ()) in
+        check_bool "second certified" true (cert_ok second);
+        let s = C.summary col in
+        check_int "second came from the proof cache" 1 s.C.pcache_hits;
+        check_int "nothing failed" 0 s.C.failed;
+        (* The hit is evidence, not trust: its payload must stand alone
+           under the independent checker. *)
+        match drat_payload_of second with
+        | None -> Alcotest.fail "expected a drat certificate from the cache"
+        | Some p ->
+          check_bool "cached payload re-checks" true
+            (is_ok
+               (D.check ~expected_deletions:p.C.deletions ~nvars:p.C.nvars
+                  ~cnf:p.C.cnf p.C.steps)));
+    Alcotest.test_case "tampered cached proof is rejected, not trusted"
+      `Quick (fun () ->
+        let col = C.create_collector () in
+        check_bool "first certified" true
+          (cert_ok (C.certify_refutation col (pcache_q1 ())));
+        (* Gut every cached proof's CNF: with nothing to propagate
+           against, no derivation step is RUP/RAT and an empty trace
+           derives no empty clause — the checker must reject the
+           payload whatever shape the proof had. *)
+        let tampered = Hashtbl.create 4 in
+        Hashtbl.iter
+          (fun id (p : C.drat_payload) ->
+            Hashtbl.replace tampered id { p with C.cnf = [] })
+          col.C.pcache;
+        Hashtbl.reset col.C.pcache;
+        Hashtbl.iter (Hashtbl.replace col.C.pcache) tampered;
+        let second = C.certify_refutation col (pcache_q2 ()) in
+        (* Certification must still succeed — by producing a fresh
+           proof, never by accepting the tampered payload. *)
+        check_bool "second certified" true (cert_ok second);
+        let s = C.summary col in
+        check_int "no proof-cache hit on tampered payload" 0 s.C.pcache_hits;
+        match drat_payload_of second with
+        | None -> Alcotest.fail "expected a fresh drat certificate"
+        | Some p ->
+          check_bool "fresh payload has a CNF again" true (p.C.cnf <> []);
+          check_bool "fresh payload re-checks" true
+            (is_ok
+               (D.check ~expected_deletions:p.C.deletions ~nvars:p.C.nvars
+                  ~cnf:p.C.cnf p.C.steps)));
+  ]
+
 (* {1 Randomized differential: certificates vs brute force}
 
    Step-2-shaped random queries over narrow vectors. Solver verdicts
@@ -447,5 +572,5 @@ let verifier_tests =
   ]
 
 let tests =
-  drat_hand_tests @ drat_solver_tests @ certificate_tests
+  drat_hand_tests @ drat_solver_tests @ certificate_tests @ trimming_tests
   @ differential_tests @ verifier_tests

@@ -64,6 +64,81 @@ let pool_tests =
             Alcotest.(check (list int))
               "same as List.map" [ 0; 1; 4; 9; 16 ]
               (Pool.map_list pool (fun i -> i * i) [ 0; 1; 2; 3; 4 ])));
+    Alcotest.test_case "nested map from inside a task does not deadlock"
+      `Quick (fun () ->
+        (* The barrier-style pool livelocked here: an outer map task
+           calling map again had no runner left to execute the inner
+           items. The helping scheduler runs them from the awaiting
+           task itself. *)
+        Pool.with_pool 4 (fun pool ->
+            let got =
+              Pool.map pool
+                (fun i ->
+                  let inner =
+                    Pool.map pool (fun j -> (10 * i) + j)
+                      (Array.init 8 Fun.id)
+                  in
+                  Array.fold_left ( + ) 0 inner)
+                (Array.init 8 Fun.id)
+            in
+            let expect i = (8 * 10 * i) + 28 in
+            Array.iteri
+              (fun i v -> check_int (Printf.sprintf "outer %d" i) (expect i) v)
+              got));
+    Alcotest.test_case "spawn/await: any order, exceptions at await" `Quick
+      (fun () ->
+        Pool.with_pool 3 (fun pool ->
+            let futs =
+              List.init 20 (fun i ->
+                  Pool.spawn pool (fun () ->
+                      if i = 13 then failwith "task 13";
+                      i * 3))
+            in
+            (* Await in reverse spawn order; helping must still drain
+               everything, and only the failing future raises. *)
+            List.iteri
+              (fun k fut ->
+                let i = 19 - k in
+                if i = 13 then
+                  Alcotest.check_raises "task 13 raises"
+                    (Failure "task 13") (fun () ->
+                      ignore (Pool.await pool fut))
+                else
+                  check_int (Printf.sprintf "task %d" i) (i * 3)
+                    (Pool.await pool fut))
+              (List.rev futs)));
+    Alcotest.test_case "scheduler stats account every task" `Quick (fun () ->
+        Pool.with_pool 2 (fun pool ->
+            Pool.reset_stats pool;
+            let futs =
+              List.init 50 (fun i -> Pool.spawn pool (fun () -> i))
+            in
+            List.iter (fun f -> ignore (Pool.await pool f)) futs;
+            let s = Pool.stats pool in
+            check_int "spawned" 50 s.Pool.spawned;
+            check_int "executed" 50 s.Pool.executed;
+            check_int "histogram covers executed" 50
+              (Array.fold_left ( + ) 0 s.Pool.hist);
+            check_bool "stolen within executed" true
+              (s.Pool.stolen >= 0 && s.Pool.stolen <= s.Pool.executed);
+            check_bool "busy time non-negative" true (s.Pool.busy_seconds >= 0.)));
+    Alcotest.test_case "size-1 pool spawns inline, in order" `Quick (fun () ->
+        Pool.with_pool 1 (fun pool ->
+            let order = ref [] in
+            let futs =
+              List.init 5 (fun i ->
+                  Pool.spawn pool (fun () ->
+                      order := i :: !order;
+                      i))
+            in
+            (* Inline execution: all done before any await. *)
+            Alcotest.(check (list int)) "sequential order" [ 4; 3; 2; 1; 0 ]
+              !order;
+            List.iteri
+              (fun i f -> check_int "value" i (Pool.await pool f))
+              futs;
+            let s = Pool.stats pool in
+            check_bool "counted" true (s.Pool.spawned >= 5)));
   ]
 
 (* {1 Concurrent term interning} *)
@@ -291,6 +366,39 @@ let fixed_differential_tests =
         | Some a, Some b, Some bd ->
           check_bool "measured within bound" true (a <= bd && b <= bd)
         | _ -> Alcotest.fail "expected measured witnesses");
+    Alcotest.test_case "skewed tree: one subtree dominates, -j 4 matches"
+      `Slow (fun () ->
+        (* The classifier's IP branch carries the whole stateful chain —
+           its composite subtree outweighs the Discard sibling by orders
+           of magnitude. The coarse frontier partitioner serialized on
+           such trees; fine-grained stealing must keep the verdict,
+           counters and DFS order sequential regardless. *)
+        let pl =
+          Click.Config.parse
+            {|
+              cl :: Classifier(12/0800, -);
+              strip :: Strip(14);
+              chk :: CheckIPHeader;
+              flow :: FlowCounter;
+              nat :: IPRewriter(203.0.113.7);
+              cl[0] -> strip -> chk -> flow -> nat;
+              cl[1] -> Discard; nat[1] -> Discard;
+            |}
+        in
+        Summaries.clear ();
+        let seq = V.check_crash_freedom ~config:(config ~jobs:1) pl in
+        Summaries.clear ();
+        let par = V.check_crash_freedom ~config:(config ~jobs:4) pl in
+        check_bool "same verdict kind" true
+          (verdict_kind seq = verdict_kind par);
+        check_bool "same violations" true
+          (violation_sig seq = violation_sig par);
+        check_int "same composite paths" seq.V.stats.V.composite_paths
+          par.V.stats.V.composite_paths;
+        check_int "same suspect checks" seq.V.stats.V.suspect_checks
+          par.V.stats.V.suspect_checks;
+        check_int "same refutations" seq.V.stats.V.refuted
+          par.V.stats.V.refuted);
   ]
 
 let tests =
