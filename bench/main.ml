@@ -1895,6 +1895,229 @@ let e12 () =
       Printf.printf
         "no BENCH_e12_baseline.json; skipping regression check\n"
 
+(* {1 E13: topology fabric — relational isolation and reachability}
+
+   Two parts. (a) The two-tenants-behind-a-NAT fabric (the committed
+   examples/multi_tenant.click, inlined here so the bench is
+   cwd-independent): every declared property must come back exactly as
+   designed — reach with a replay-confirmed witness, isolate as a
+   certified Proved verdict, temporal with a confirmed two-packet
+   flow. (b) The adversarial scenario generator: randomized
+   multi-tenant fabrics with leaks planted with ground truth must
+   score 100% detection with every breach witness replay-Confirmed
+   end-to-end, zero false leaks on the safe pairs, and no unknowns.
+   Query latency is regression-gated against BENCH_e13_baseline.json.
+   CI runs the small-fabric mode via VDP_E13_SMOKE=1. *)
+
+let multi_tenant_src =
+  {|
+topology {
+  pipeline tenant_a {
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk -> IPFilter(allow src 10.1.0.0/16, deny all);
+    chk[1] -> Discard;
+    cl[1] -> Discard;
+  }
+  pipeline tenant_b {
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk -> IPFilter(allow src 10.2.0.0/16, deny all);
+    chk[1] -> Discard;
+    cl[1] -> Discard;
+  }
+  pipeline wan_in {
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk;
+    chk[1] -> Discard;
+    cl[1] -> Discard;
+  }
+  pipeline gw {
+    nat :: NATGateway(203.0.113.1);
+    rt :: StaticIPLookup(10.1.0.0/16 0, 10.2.0.0/16 1);
+    nat[1] -> rt;
+    nat[2] -> Discard;
+  }
+  tenant_a[0] -> [0] gw;
+  tenant_b[0] -> [0] gw;
+  wan_in[0] -> [1] gw;
+  ingress a = tenant_a;
+  ingress b = tenant_b;
+  ingress wan = wan_in;
+  egress wan_out = gw[0];
+  egress lan_a = gw[1];
+  egress lan_b = gw[2];
+  reach a -> wan_out;
+  reach b -> wan_out;
+  isolate a -> lan_b;
+  isolate b -> lan_a;
+  temporal wan -> lan_a;
+  temporal wan -> lan_b;
+}
+|}
+
+let e13 () =
+  section "E13: cross-pipeline isolation and reachability over fabrics";
+  let module F = Vdp_topo.Fabric in
+  let module R = Vdp_topo.Relation in
+  let module Q = Vdp_topo.Query in
+  let module Sc = Vdp_topo.Scenario in
+  let smoke = Sys.getenv_opt "VDP_E13_SMOKE" <> None in
+  (* Part (a): the NAT fabric with its declared property suite. *)
+  let fab =
+    match Click.Config.parse_source multi_tenant_src with
+    | Click.Config.Fabric topo -> F.of_topo topo
+    | Click.Config.Single _ -> failwith "e13: expected a topology"
+  in
+  let qcfg = { Q.default_config with Q.certify = true } in
+  let rel, build_dt = time (fun () -> R.build ~config:qcfg.Q.engine fab) in
+  Printf.printf "fabric build (%d pipelines): %.3fs\n%!"
+    (Array.length fab.F.pipes) build_dt;
+  let prows = ref [] in
+  let query_dt = ref 0. in
+  List.iter
+    (fun prop ->
+      let r, dt = time (fun () -> Q.run ~config:qcfg rel prop) in
+      query_dt := !query_dt +. dt;
+      let ok =
+        match (prop, r.Q.verdict) with
+        | Click.Config.Reach _, Q.Holds (Some f) -> f.Q.w_confirmed
+        | Click.Config.Isolate _, Q.Holds None -> Q.cert_complete r.Q.cert
+        | Click.Config.Temporal _, Q.Holds (Some f) -> f.Q.w_confirmed
+        | _ -> false
+      in
+      Printf.printf "  %-24s %-30s depth %d, %d paths, %d checks, %.3fs%s\n%!"
+        (Q.prop_to_string r.Q.prop)
+        (Q.verdict_to_string r.Q.verdict)
+        r.Q.depth r.Q.paths r.Q.checks dt
+        (if ok then "" else "  <- FAILED");
+      if not ok then begin
+        Printf.printf "E13 FAILED: %s did not come back as designed\n"
+          (Q.prop_to_string prop);
+        exit_code := 1
+      end;
+      prows :=
+        Json.Obj
+          [
+            ("prop", Json.Str (Q.prop_to_string prop));
+            ("verdict", Json.Str (Q.verdict_to_string r.Q.verdict));
+            ("depth", Json.Int r.Q.depth);
+            ("paths", Json.Int r.Q.paths);
+            ("checks", Json.Int r.Q.checks);
+            ("seconds", Json.Float dt);
+            ("ok", Json.Bool ok);
+          ]
+        :: !prows)
+    fab.F.props;
+  (* Part (b): planted-leak detection on generated fabrics. *)
+  let tenants = if smoke then 2 else 3 in
+  let seeds = if smoke then [ 1 ] else [ 1; 2; 3 ] in
+  let leaks = [ `None; `Dropped_deny; `Misordered ] in
+  let leak_name = function
+    | `None -> "none"
+    | `Dropped_deny -> "dropped_deny"
+    | `Misordered -> "misordered"
+  in
+  let srows = ref [] in
+  let tot_planted = ref 0 and tot_detected = ref 0 in
+  let tot_safe = ref 0 and tot_safe_proved = ref 0 in
+  let tot_false = ref 0 and tot_unknowns = ref 0 in
+  let all_conf = ref true in
+  let scen_dt = ref 0. in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun leak ->
+          let sc = Sc.generate ~tenants ~seed ~leak () in
+          let score, dt = time (fun () -> Sc.check sc) in
+          scen_dt := !scen_dt +. dt;
+          Printf.printf
+            "  seed %d %-13s detected %d/%d, false %d, safe proved %d/%d, \
+             unknowns %d%s (%.3fs)\n%!"
+            seed (leak_name leak) score.Sc.detected score.Sc.planted
+            score.Sc.false_leaks score.Sc.safe_proved score.Sc.safe
+            score.Sc.unknowns
+            (if score.Sc.confirmed then "" else ", UNCONFIRMED breaches")
+            dt;
+          tot_planted := !tot_planted + score.Sc.planted;
+          tot_detected := !tot_detected + score.Sc.detected;
+          tot_safe := !tot_safe + score.Sc.safe;
+          tot_safe_proved := !tot_safe_proved + score.Sc.safe_proved;
+          tot_false := !tot_false + score.Sc.false_leaks;
+          tot_unknowns := !tot_unknowns + score.Sc.unknowns;
+          if not score.Sc.confirmed then all_conf := false;
+          srows :=
+            Json.Obj
+              [
+                ("seed", Json.Int seed);
+                ("leak", Json.Str (leak_name leak));
+                ("detected", Json.Int score.Sc.detected);
+                ("planted", Json.Int score.Sc.planted);
+                ("false_leaks", Json.Int score.Sc.false_leaks);
+                ("safe_proved", Json.Int score.Sc.safe_proved);
+                ("safe", Json.Int score.Sc.safe);
+                ("confirmed", Json.Bool score.Sc.confirmed);
+                ("seconds", Json.Float dt);
+              ]
+            :: !srows)
+        leaks)
+    seeds;
+  let detection_rate =
+    if !tot_planted = 0 then 1.
+    else float_of_int !tot_detected /. float_of_int !tot_planted
+  in
+  Printf.printf
+    "planted-leak detection: %d/%d (%.0f%%), %d false leak(s), safe proved \
+     %d/%d\n"
+    !tot_detected !tot_planted (100. *. detection_rate) !tot_false
+    !tot_safe_proved !tot_safe;
+  if detection_rate < 1.0 then begin
+    Printf.printf "E13 FAILED: planted leaks went undetected\n";
+    exit_code := 1
+  end;
+  if not !all_conf then begin
+    Printf.printf
+      "E13 FAILED: a reported breach did not replay-confirm end-to-end\n";
+    exit_code := 1
+  end;
+  if !tot_false > 0 then begin
+    Printf.printf "E13 FAILED: false leak(s) on safe pairs\n";
+    exit_code := 1
+  end;
+  if !tot_safe_proved <> !tot_safe || !tot_unknowns > 0 then begin
+    Printf.printf "E13 FAILED: safe pairs not all proved\n";
+    exit_code := 1
+  end;
+  record "properties" (Json.List (List.rev !prows));
+  record "scenarios" (Json.List (List.rev !srows));
+  record "fabric_build_seconds" (Json.Float build_dt);
+  record "query_seconds" (Json.Float !query_dt);
+  record "scenario_seconds" (Json.Float !scen_dt);
+  record "detection_rate" (Json.Float detection_rate);
+  record "false_leaks" (Json.Int !tot_false);
+  record "breaches_confirmed" (Json.Bool !all_conf);
+  record "smoke" (Json.Bool smoke);
+  if not smoke then
+    match json_float_field "BENCH_e13_baseline.json" "query_seconds" with
+    | Some baseline ->
+      let floor = max baseline 0.05 in
+      let regressed = !query_dt > 2. *. floor in
+      record "baseline_query_seconds" (Json.Float baseline);
+      record "regressed" (Json.Bool regressed);
+      if regressed then begin
+        Printf.printf
+          "E13 FAILED: property-suite latency %.3fs is more than 2x the \
+           baseline %.3fs\n"
+          !query_dt baseline;
+        exit_code := 1
+      end
+      else
+        Printf.printf "no regression vs baseline (%.3fs <= 2x %.3fs)\n"
+          !query_dt floor
+    | None ->
+      Printf.printf "no BENCH_e13_baseline.json; skipping regression check\n"
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -1979,7 +2202,7 @@ let micro () =
 
 let all = [ "fig1", fig1; "fig2", fig2; "e1", e1; "e2", e2; "e3", e3;
             "e4", e4; "e5", e5; "e6", e6; "e7", e7; "e8", e8; "e9", e9;
-            "e10", e10; "e11", e11; "e12", e12; "micro", micro ]
+            "e10", e10; "e11", e11; "e12", e12; "e13", e13; "micro", micro ]
 
 let () =
   let requested =

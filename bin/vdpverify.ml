@@ -6,6 +6,8 @@
      vdpverify bound router.click
      vdpverify verify --certify router.click
      vdpverify cert router.click
+     vdpverify isolate examples/multi_tenant.click
+     vdpverify reach fabric.click t1 wan
      vdpverify classes *)
 
 module E = Vdp_symbex.Engine
@@ -495,6 +497,206 @@ let pump_cmd =
     Term.(
       const run $ config_arg $ count_arg $ seed_arg $ engine_arg $ batch_arg)
 
+(* {1 Topology queries: reach / isolate} *)
+
+module Q = Vdp_topo.Query
+
+let load_fabric path =
+  try Ok (Vdp_topo.Fabric.of_source path) with
+  | Vdp_click.Config.Parse_error m ->
+    Error (Printf.sprintf "parse error: %s" m)
+  | Vdp_topo.Fabric.Bad_fabric m -> Error m
+  | Vdp_click.Registry.Unknown_class c ->
+    Error (Printf.sprintf "unknown element class: %s" c)
+  | Vdp_click.Registry.Bad_config (cls, m) ->
+    Error (Printf.sprintf "bad configuration for %s: %s" cls m)
+  | Invalid_argument m -> Error m
+
+let topo_config max_len ~no_cache ~no_preprocess ~certify =
+  {
+    Q.default_config with
+    Q.engine = { E.default_config with E.max_len };
+    Q.cache = not no_cache;
+    Q.preprocess = not no_preprocess;
+    Q.certify = certify;
+  }
+
+(* 0 = as expected; 2 = property fails / undecided; 3 = untrusted
+   result (a breach flow that did not replay-confirm, or a verdict
+   whose requested certificates did not all check). *)
+let topo_code (r : Q.report) =
+  match r.Q.verdict with
+  | Q.Holds _ -> if Q.cert_complete r.Q.cert then 0 else 3
+  | Q.Fails _ -> if Q.all_confirmed r then 2 else 3
+  | Q.Unknown _ -> 2
+
+let print_topo_report (r : Q.report) =
+  let module P = Vdp_packet.Packet in
+  Format.printf "%-28s %s  [depth %d, %d paths, %d checks, %.2fs]@."
+    (Q.prop_to_string r.Q.prop ^ ":")
+    (Q.verdict_to_string r.Q.verdict)
+    r.Q.depth r.Q.paths r.Q.checks r.Q.time;
+  let flows =
+    match r.Q.verdict with
+    | Q.Fails (flows, _) -> flows
+    | Q.Holds (Some f) -> [ f ]
+    | _ -> []
+  in
+  List.iter
+    (fun (f : Q.flow) ->
+      Format.printf "    %s%s: %d-byte packet -> %s%s@."
+        (match f.Q.w_prime with
+        | Some (n, p) ->
+          Printf.sprintf "[primed via %s, %d bytes] " n (P.length p)
+        | None -> "")
+        f.Q.w_ingress (P.length f.Q.w_packet) f.Q.w_end
+        (if f.Q.w_confirmed then " (replay confirmed)"
+         else
+           Printf.sprintf " (UNCONFIRMED%s)"
+             (match f.Q.w_note with Some n -> ": " ^ n | None -> "")))
+    flows;
+  match r.Q.cert with
+  | Some c ->
+    Format.printf "    certificates: %d/%d checked (%d failed)@."
+      c.C.certified c.C.attempted c.C.failed
+  | None -> ()
+
+let print_crash_report (c : Q.crash_report) =
+  let module P = Vdp_packet.Packet in
+  Format.printf "%-28s %s  [%d paths, <= %d instrs/packet]@."
+    "fabric crash-freedom:"
+    (Q.verdict_to_string c.Q.c_verdict)
+    c.Q.c_paths c.Q.c_max_instrs;
+  (match c.Q.c_verdict with
+  | Q.Fails (flows, _) ->
+    List.iter
+      (fun (f : Q.flow) ->
+        Format.printf "    %s: %d-byte packet -> %s%s@." f.Q.w_ingress
+          (P.length f.Q.w_packet) f.Q.w_end
+          (if f.Q.w_confirmed then " (replay confirmed)"
+           else
+             Printf.sprintf " (UNCONFIRMED%s)"
+               (match f.Q.w_note with Some n -> ": " ^ n | None -> "")))
+      flows
+  | _ -> ());
+  match c.Q.c_cert with
+  | Some s ->
+    Format.printf "    certificates: %d/%d checked (%d failed)@."
+      s.C.certified s.C.attempted s.C.failed
+  | None -> ()
+
+let crash_code (c : Q.crash_report) =
+  match c.Q.c_verdict with
+  | Q.Holds _ -> if Q.cert_complete c.Q.c_cert then 0 else 3
+  | Q.Fails (flows, _) ->
+    if List.for_all (fun f -> f.Q.w_confirmed) flows then 2 else 3
+  | Q.Unknown _ -> 2
+
+(* Run the selected declared properties (or one explicit pair).
+   [crash] additionally verifies per-fabric crash-freedom — every
+   feasible crash end from any ingress, headroom exhaustion included —
+   and reports the worst-case instruction bound. *)
+let run_topo ?(crash = false) config_path max_len no_cache no_preprocess
+    certify ingress egress ~select ~mk =
+  match load_fabric config_path with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok fab -> (
+    let props =
+      match (ingress, egress) with
+      | Some a, Some b -> Ok [ mk a b ]
+      | None, None -> (
+        match List.filter select fab.Vdp_topo.Fabric.props with
+        | [] ->
+          Error
+            (Printf.sprintf "%s declares no matching property" config_path)
+        | ps -> Ok ps)
+      | _ -> Error "give both INGRESS and EGRESS, or neither"
+    in
+    match props with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok props -> (
+      let config = topo_config max_len ~no_cache ~no_preprocess ~certify in
+      try
+        let rel =
+          Vdp_topo.Relation.build ~config:config.Q.engine fab
+        in
+        let code =
+          List.fold_left
+            (fun code p ->
+              let r = Q.run ~config rel p in
+              print_topo_report r;
+              max code (topo_code r))
+            0 props
+        in
+        if crash then begin
+          let c = Q.verify_crash ~config rel in
+          print_crash_report c;
+          max code (crash_code c)
+        end
+        else code
+      with Vdp_topo.Fabric.Bad_fabric m ->
+        Format.eprintf "error: %s@." m;
+        1))
+
+let topo_ingress_arg =
+  let doc = "Fabric ingress name (with EGRESS, overrides declared props)." in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"INGRESS" ~doc)
+
+let topo_egress_arg =
+  let doc = "Fabric egress name." in
+  Arg.(value & pos 2 (some string) None & info [] ~docv:"EGRESS" ~doc)
+
+let reach_cmd =
+  let run config_path max_len no_cache no_preprocess certify ingress egress =
+    run_topo config_path max_len no_cache no_preprocess certify ingress
+      egress
+      ~select:(function Vdp_click.Config.Reach _ -> true | _ -> false)
+      ~mk:(fun a b -> Vdp_click.Config.Reach (a, b))
+  in
+  let doc =
+    "Decide reachability across a topology: some packet injected at the \
+     INGRESS pipeline comes out at the EGRESS point. A positive answer \
+     must carry a witness packet whose replay through the wired concrete \
+     runtimes confirms the path. Without an explicit pair, runs every \
+     $(b,reach) property declared in the topology file."
+  in
+  Cmd.v
+    (Cmd.info "reach" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ no_cache_arg $ no_preprocess_arg
+      $ certify_arg $ topo_ingress_arg $ topo_egress_arg)
+
+let isolate_cmd =
+  let run config_path max_len no_cache no_preprocess certify ingress egress =
+    run_topo ~crash:true config_path max_len no_cache no_preprocess certify
+      ingress egress
+      ~select:(function
+        | Vdp_click.Config.Isolate _ | Vdp_click.Config.Temporal _ -> true
+        | _ -> false)
+      ~mk:(fun a b -> Vdp_click.Config.Isolate (a, b))
+  in
+  let doc =
+    "Decide isolation across a topology: no packet injected at the INGRESS \
+     pipeline ever comes out at the EGRESS point, neither from a cold \
+     (boot-state) fabric nor after one priming packet from any ingress \
+     (the NAT case). Every claimed breach is replayed end-to-end through \
+     the wired runtimes and tagged confirmed/unconfirmed; with \
+     $(b,--certify), every refutation behind a holds verdict must carry a \
+     checked certificate. Without an explicit pair, runs every \
+     $(b,isolate) and $(b,temporal) property declared in the file. Also \
+     verifies per-fabric crash-freedom (headroom exhaustion included) and \
+     reports the worst-case instruction bound."
+  in
+  Cmd.v
+    (Cmd.info "isolate" ~doc)
+    Term.(
+      const run $ config_arg $ max_len_arg $ no_cache_arg $ no_preprocess_arg
+      $ certify_arg $ topo_ingress_arg $ topo_egress_arg)
+
 let show_cmd =
   let run config_path =
     match load config_path with
@@ -520,7 +722,7 @@ let main =
   let doc = "verify software-dataplane pipelines" in
   Cmd.group
     (Cmd.info "vdpverify" ~version:"1.0.0" ~doc)
-    [ crash_cmd; bound_cmd; verify_cmd; cert_cmd; delta_cmd; replay_cmd;
-      pump_cmd; show_cmd; classes_cmd ]
+    [ crash_cmd; bound_cmd; verify_cmd; cert_cmd; delta_cmd; reach_cmd;
+      isolate_cmd; replay_cmd; pump_cmd; show_cmd; classes_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,74 @@
+// Two tenants behind a NAT gateway — the fabric used by the
+// relational queries (reach / isolate / temporal).
+//
+//   dune exec bin/vdpverify.exe -- isolate examples/multi_tenant.click
+//   dune exec bin/vdpverify.exe -- reach examples/multi_tenant.click
+//   dune exec bin/vdpverify.exe -- isolate --certify examples/multi_tenant.click a lan_b
+//
+// Each tenant's ingress pipeline admits only its own source prefix;
+// the gateway NATs outbound traffic (port 0) to the WAN and maps
+// inbound traffic (port 1) back through its dynamic rev_map, so the
+// LAN-side egresses are reachable from the WAN only after an
+// outbound packet primed the mapping — the temporal properties.
+
+topology {
+  pipeline tenant_a {
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk -> IPFilter(allow src 10.1.0.0/16, deny all);
+    chk[1] -> Discard;
+    cl[1] -> Discard;
+  }
+
+  pipeline tenant_b {
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk -> IPFilter(allow src 10.2.0.0/16, deny all);
+    chk[1] -> Discard;
+    cl[1] -> Discard;
+  }
+
+  // WAN-side admission: Ethernet + IP header checks only.
+  pipeline wan_in {
+    cl :: Classifier(12/0800, -);
+    chk :: CheckIPHeader;
+    cl[0] -> Strip(14) -> chk;
+    chk[1] -> Discard;
+    cl[1] -> Discard;
+  }
+
+  // The gateway. NATGateway branches on the packet's input port:
+  //   in 0 (tenants)  -> out 0: source rewritten to the public address
+  //   in 1 (WAN)      -> out 1: rev_map hit rewrites the destination
+  //                      back to the inside host; miss drops
+  //   other in-ports  -> out 2: bypass
+  pipeline gw {
+    nat :: NATGateway(203.0.113.1);
+    rt :: StaticIPLookup(10.1.0.0/16 0, 10.2.0.0/16 1);
+    nat[1] -> rt;
+    nat[2] -> Discard;
+  }
+
+  tenant_a[0] -> [0] gw;
+  tenant_b[0] -> [0] gw;
+  wan_in[0] -> [1] gw;
+
+  ingress a = tenant_a;
+  ingress b = tenant_b;
+  ingress wan = wan_in;
+
+  egress wan_out = gw[0];
+  egress lan_a = gw[1];
+  egress lan_b = gw[2];
+
+  // Tenants can reach the WAN ...
+  reach a -> wan_out;
+  reach b -> wan_out;
+  // ... but never each other's LAN side, even via the NAT ...
+  isolate a -> lan_b;
+  isolate b -> lan_a;
+  // ... and the WAN reaches a LAN side only after that tenant's
+  // outbound packet primed the NAT mapping.
+  temporal wan -> lan_a;
+  temporal wan -> lan_b;
+}

@@ -133,3 +133,105 @@ let ip_rewriter ~public_ip =
   Bld.store b ~off:(Ir.Reg hlen) ~n:2 (Ir.Reg chosen);
   Bld.term b (Ir.Emit 0);
   Bld.finish b
+
+(** Bidirectional NAT gateway — the fabric-facing sibling of
+    {!ip_rewriter}, dispatching on the input port so one element
+    instance carries both directions of the translation state:
+
+    - in-port 0 ({e outbound}, LAN → WAN): source-rewrite to
+      [public_ip] exactly as {!ip_rewriter}, but additionally record
+      the reverse mapping public-port → inside (src, sport) in the
+      private "rev_map" store.
+    - in-port 1 ({e inbound}, WAN → LAN): look the destination port up
+      in "rev_map"; a hit rewrites the destination back to the inside
+      host and emits on port 1, a miss (unsolicited flow — no outbound
+      packet has primed the map) drops.
+
+    Output 2 carries non-TCP/UDP bypass traffic for both directions.
+    This is the element behind the temporal isolation property: egress
+    via port 1 is unreachable from a cold store and becomes reachable
+    only after an outbound packet has written "rev_map". *)
+let nat_gateway ~public_ip =
+  let b = Bld.create ~name:"NATGateway" in
+  Bld.set_nports b 3;
+  Bld.declare_store b
+    (Ir.store ~name:"nat_map" ~key_width:48 ~val_width:16 ~kind:Ir.Private
+       ~default:(B.zero 16) ());
+  Bld.declare_store b
+    (Ir.store ~name:"rev_map" ~key_width:16 ~val_width:48 ~kind:Ir.Private
+       ~default:(B.zero 48) ());
+  Bld.declare_store b
+    (Ir.store ~name:"nat_next" ~key_width:1 ~val_width:16 ~kind:Ir.Private
+       ~default:(B.zero 16)
+       ~init:[ (B.zero 1, B.of_int ~width:16 1024) ] ());
+  let proto = Bld.load b ~off:(c16 9) ~n:1 in
+  let is_tcp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 6) in
+  let is_udp = Bld.cmp b Ir.Eq (Ir.Reg proto) (c8 17) in
+  let hlen = header_len b in
+  let in_window = ports_in_window b ~hlen ~n:4 in
+  let tcp_or_udp =
+    Bld.assign b ~width:1 (Ir.Binop (Ir.Or, Ir.Reg is_tcp, Ir.Reg is_udp))
+  in
+  let natable =
+    Bld.assign b ~width:1
+      (Ir.Binop (Ir.And, Ir.Reg tcp_or_udp, Ir.Reg in_window))
+  in
+  guard_or_port b (Ir.Reg natable) ~port:2;
+  let in_port = Bld.meta_get b Ir.Port in
+  let outbound = Bld.cmp b Ir.Eq (Ir.Reg in_port) (c8 0) in
+  let out_blk = Bld.new_block b and in_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg outbound, out_blk, in_blk));
+
+  (* Outbound: source rewrite + reverse-mapping record. *)
+  Bld.select b out_blk;
+  let src = Bld.load b ~off:(c16 12) ~n:4 in
+  let sport = Bld.load b ~off:(Ir.Reg hlen) ~n:2 in
+  let key = Bld.assign b ~width:48 (Ir.Concat (Ir.Reg src, Ir.Reg sport)) in
+  let mapped = Bld.kv_read b ~store:"nat_map" ~key:(Ir.Reg key) ~val_width:16 in
+  let have = Bld.cmp b Ir.Ne (Ir.Reg mapped) (c16 0) in
+  let use_blk = Bld.new_block b and alloc_blk = Bld.new_block b in
+  let chosen = Bld.reg b ~width:16 in
+  Bld.term b (Ir.Branch (Ir.Reg have, use_blk, alloc_blk));
+  Bld.select b alloc_blk;
+  let next = Bld.kv_read b ~store:"nat_next" ~key:(c1 false) ~val_width:16 in
+  let exhausted = Bld.cmp b Ir.Eq (Ir.Reg next) (c16 0) in
+  let alloc_ok = Bld.new_block b and dead = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg exhausted, dead, alloc_ok));
+  Bld.select b dead;
+  Bld.term b Ir.Drop;
+  Bld.select b alloc_ok;
+  let next' = Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg next, c16 1)) in
+  Bld.instr b (Ir.Kv_write ("nat_next", c1 false, Ir.Reg next'));
+  Bld.instr b (Ir.Kv_write ("nat_map", Ir.Reg key, Ir.Reg next));
+  Bld.instr b (Ir.Kv_write ("rev_map", Ir.Reg next, Ir.Reg key));
+  Bld.instr b (Ir.Assign (chosen, Ir.Move (Ir.Reg next)));
+  let rewrite = Bld.new_block b in
+  Bld.term b (Ir.Goto rewrite);
+  Bld.select b use_blk;
+  Bld.instr b (Ir.Assign (chosen, Ir.Move (Ir.Reg mapped)));
+  Bld.term b (Ir.Goto rewrite);
+  Bld.select b rewrite;
+  Bld.store b ~off:(c16 12) ~n:4 (c32 public_ip);
+  Bld.store b ~off:(Ir.Reg hlen) ~n:2 (Ir.Reg chosen);
+  Bld.term b (Ir.Emit 0);
+
+  (* Inbound: reverse lookup on the destination port; a cold map means
+     no mapping allocated yet -> drop. *)
+  Bld.select b in_blk;
+  let dport_off =
+    Bld.assign b ~width:16 (Ir.Binop (Ir.Add, Ir.Reg hlen, c16 2))
+  in
+  let dport = Bld.load b ~off:(Ir.Reg dport_off) ~n:2 in
+  let back = Bld.kv_read b ~store:"rev_map" ~key:(Ir.Reg dport) ~val_width:48 in
+  let known = Bld.cmp b Ir.Ne (Ir.Reg back) (Ir.Const (B.zero 48)) in
+  let map_blk = Bld.new_block b and miss_blk = Bld.new_block b in
+  Bld.term b (Ir.Branch (Ir.Reg known, map_blk, miss_blk));
+  Bld.select b miss_blk;
+  Bld.term b Ir.Drop;
+  Bld.select b map_blk;
+  let inside_ip = Bld.extract b ~hi:47 ~lo:16 (Ir.Reg back) in
+  let inside_port = Bld.extract b ~hi:15 ~lo:0 (Ir.Reg back) in
+  Bld.store b ~off:(c16 16) ~n:4 (Ir.Reg inside_ip);
+  Bld.store b ~off:(Ir.Reg dport_off) ~n:2 (Ir.Reg inside_port);
+  Bld.term b (Ir.Emit 1);
+  Bld.finish b

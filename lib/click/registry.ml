@@ -84,6 +84,10 @@ let () =
     | [ ip ] ->
       El_stateful.ip_rewriter ~public_ip:(Ipv4.addr_of_string (String.trim ip))
     | _ -> fail "IPRewriter" "expects the public address");
+  register "NATGateway" (function
+    | [ ip ] ->
+      El_stateful.nat_gateway ~public_ip:(Ipv4.addr_of_string (String.trim ip))
+    | _ -> fail "NATGateway" "expects the public address");
   register "SafeDPI" (function
     | [ s; d ] ->
       El_market.safe_dpi ~signature:(int_arg "SafeDPI" s)

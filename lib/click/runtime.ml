@@ -46,6 +46,9 @@ type step = {
   element : string;
   outcome : Ir.outcome;
   instrs : int;
+  pipeline : string;
+      (** the instance's label — which pipeline of a fabric took the
+          step; [""] for a standalone pipeline *)
 }
 
 type final =
@@ -67,6 +70,9 @@ let default_batch = 256
 
 type instance = {
   pipeline : Pipeline.t;
+  label : string;
+      (** pipeline name carried into every {!step}; [""] outside a
+          fabric, so single-pipeline reports are unchanged *)
   stores : Stores.t array;  (** per-node private/static store state *)
   engine : engine;
   exec : (P.t -> Interp.result) array;  (** per-node executor *)
@@ -91,7 +97,8 @@ type instance = {
 let dummy_packet = P.create ""
 let dummy_final = Dropped_at (-1)
 
-let instantiate ?(engine = Scalar) ?(batch = default_batch) pipeline =
+let instantiate ?(engine = Scalar) ?(batch = default_batch) ?(label = "")
+    pipeline =
   let stores =
     Array.map
       (fun (n : Pipeline.node) ->
@@ -130,6 +137,7 @@ let instantiate ?(engine = Scalar) ?(batch = default_batch) pipeline =
   let capacity = match engine with Scalar -> 1 | _ -> max 1 batch in
   {
     pipeline;
+    label;
     stores;
     engine;
     exec;
@@ -174,6 +182,7 @@ let push_scalar ?trace inst pkt =
           element = n.Pipeline.element.Element.name;
           outcome = r.Interp.outcome;
           instrs = r.Interp.instr_count;
+          pipeline = inst.label;
         }
       in
       steps := step :: !steps;
@@ -242,6 +251,7 @@ let batch_sweep ?trace ~collect inst k =
                   element = name;
                   outcome = r.Interp.outcome;
                   instrs = r.Interp.instr_count;
+                  pipeline = inst.label;
                 }
               in
               inst.steps_rev.(slot) <- step :: inst.steps_rev.(slot);

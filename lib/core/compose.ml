@@ -61,13 +61,13 @@ type t = {
           so a rule change invalidates exactly the dependent entries *)
 }
 
-let initial ?(assume = []) ?(headroom = Vdp_packet.Packet.default_headroom) ()
-    =
+let initial ?(assume = []) ?(meta = [])
+    ?(headroom = Vdp_packet.Packet.default_headroom) () =
   {
     background = Input 0;
     overrides = Hashtbl.create 16;
     len = T.var S.len_var 16;
-    meta = [];
+    meta;
     cond = assume;
     new_cond = assume;
     instr_lo = 0;

@@ -209,3 +209,15 @@ let of_pipeline ?pool ?cache ?config (pl : Vdp_click.Pipeline.t) : entry array
     (Array.map
        (fun (n : Vdp_click.Pipeline.node) -> n.Vdp_click.Pipeline.element)
        (Vdp_click.Pipeline.nodes pl))
+
+(** [unchanged prev cur] — every entry is {e physically} the same cache
+    record. Entries are immutable once published, so physical identity
+    means no invalidation (static-store mutation, [clear]) has touched
+    any of them since [prev] was probed; a memoized verdict derived
+    from [prev] is still a verdict about [cur]. *)
+let unchanged (prev : entry array) (cur : entry array) =
+  Array.length prev = Array.length cur
+  &&
+  let ok = ref true in
+  Array.iteri (fun i e -> if e != cur.(i) then ok := false) prev;
+  !ok

@@ -779,17 +779,10 @@ let session ?(config = default_config) pl =
 
 let verify_crash (s : session) : report * bool =
   let probe () = Summaries.of_pipeline ~config:s.s_config.engine s.s_pl in
-  let unchanged prev cur =
-    Array.length prev = Array.length cur
-    &&
-    let ok = ref true in
-    Array.iteri (fun i (e : Summaries.entry) -> if e != cur.(i) then ok := false) prev;
-    !ok
-  in
   match s.s_prev with
   | Some (prev, r)
     when (match r.verdict with Proved -> true | _ -> false)
-         && unchanged prev (probe ()) ->
+         && Summaries.unchanged prev (probe ()) ->
     (r, true)
   | _ ->
     let r = check_crash_freedom ~config:s.s_config s.s_pl in

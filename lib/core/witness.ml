@@ -179,28 +179,47 @@ let final_to_string (run : Click.Runtime.run) =
   in
   Printf.sprintf "%s after %d instructions" base run.Click.Runtime.total_instrs
 
-(* First hop at which the concrete node path left the predicted one. *)
-let divergence predicted (run : Click.Runtime.run) =
-  let actual =
-    List.map (fun (s : Click.Runtime.step) -> s.Click.Runtime.node)
-      run.Click.Runtime.steps
+(* First hop at which the concrete node path left the predicted one.
+   [predicted] pairs a pipeline label with each node; labels are [""]
+   for single-pipeline replay, where messages keep the classic
+   [node %d] form. Fabric replay passes per-pipeline labels and the
+   divergence point reads [pipeline:element:hop]. *)
+let divergence_steps predicted (steps : Click.Runtime.step list) =
+  let pdesc (label, node) =
+    if label = "" then Printf.sprintf "node %d" node
+    else Printf.sprintf "%s:node %d" label node
   in
-  let rec go i ps actuals =
-    match (ps, actuals) with
+  let sdesc i (s : Click.Runtime.step) =
+    if s.Click.Runtime.pipeline = "" then
+      Printf.sprintf "node %d" s.Click.Runtime.node
+    else
+      Printf.sprintf "%s:%s:%d" s.Click.Runtime.pipeline
+        s.Click.Runtime.element i
+  in
+  let rec go i ps ss =
+    match (ps, ss) with
     | [], [] -> None
     | p :: _, [] ->
-      Some (Printf.sprintf "diverged at hop %d: predicted node %d but the \
-                            run had already ended" i p)
-    | [], a :: _ ->
-      Some (Printf.sprintf "diverged at hop %d: run continued to node %d \
-                            beyond the predicted path" i a)
-    | p :: ps', a :: actuals' ->
-      if p <> a then
-        Some (Printf.sprintf "diverged at hop %d: predicted node %d, \
-                              runtime took node %d" i p a)
-      else go (i + 1) ps' actuals'
+      Some (Printf.sprintf "diverged at hop %d: predicted %s but the \
+                            run had already ended" i (pdesc p))
+    | [], s :: _ ->
+      Some (Printf.sprintf "diverged at hop %d: run continued to %s \
+                            beyond the predicted path" i (sdesc i s))
+    | ((plab, pn) as p) :: ps', s :: ss' ->
+      if
+        pn <> s.Click.Runtime.node
+        || (plab <> "" && plab <> s.Click.Runtime.pipeline)
+      then
+        Some (Printf.sprintf "diverged at hop %d: predicted %s, \
+                              runtime took %s" i (pdesc p) (sdesc i s))
+      else go (i + 1) ps' ss'
   in
-  go 0 predicted actual
+  go 0 predicted steps
+
+let divergence predicted (run : Click.Runtime.run) =
+  divergence_steps
+    (List.map (fun n -> ("", n)) predicted)
+    run.Click.Runtime.steps
 
 (** Replay a Step-2 model on the concrete runtime: build the witness
     packet (unless the caller already did), derive and load the initial

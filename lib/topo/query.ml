@@ -1,0 +1,583 @@
+(** Relational queries over a fabric: reach, isolate, temporal.
+
+    Each query composes fabric paths ({!Relation.enumerate}) under boot
+    semantics ({!Relation.ground_boot}) and decides them with the
+    shared solver stack (query cache, word-level preprocessing,
+    optional proof certification of every refutation). Claims are never
+    taken from the solver alone:
+
+    - A satisfiable breach/reach answer must {e replay}: the model's
+      packet(s) are pushed through the actual wired runtimes
+      ({!Fabric.push}) from boot state and the flow is tagged confirmed
+      only if the concrete run ends where the symbolic path claimed.
+    - An unsatisfiable answer can be certified through
+      {!Vdp_cert.Certificate}, upgrading [Holds] to a checked proof.
+
+    Query depth is bounded at two packets: depth 1 is a single packet
+    from a cold (boot) fabric, depth 2 composes a renamed "prime"
+    packet first — enough to express the NAT temporal property ("an
+    inbound flow is answered only after an outbound packet"), which is
+    the [Temporal] query: cold-unreachable at depth 1 {e and}
+    reachable, replay-confirmed, at depth 2. *)
+
+module B = Vdp_bitvec.Bitvec
+module T = Vdp_smt.Term
+module Solver = Vdp_smt.Solver
+module S = Vdp_symbex.Sstate
+module Engine = Vdp_symbex.Engine
+module Ir = Vdp_ir.Types
+module P = Vdp_packet.Packet
+module Config = Vdp_click.Config
+module Witness = Vdp_verif.Witness
+module Summaries = Vdp_verif.Summaries
+module Compose = Vdp_verif.Compose
+module Cert = Vdp_cert.Certificate
+
+type config = {
+  engine : Engine.config;
+  solver_budget : int;
+  max_paths : int;
+  cache : bool;
+  preprocess : bool;
+  certify : bool;
+}
+
+let default_config =
+  {
+    engine = Engine.default_config;
+    solver_budget = 2_000_000;
+    max_paths = 200_000;
+    cache = true;
+    preprocess = true;
+    certify = false;
+  }
+
+(** A concrete packet flow witnessing a query answer. [w_prime] is the
+    first packet of a depth-2 flow (with the ingress it entered at). *)
+type flow = {
+  w_prime : (string * P.t) option;
+  w_ingress : string;
+  w_packet : P.t;
+  w_end : string;  (** where the concrete replay ended *)
+  w_confirmed : bool;
+  w_note : string option;  (** divergence point when unconfirmed *)
+}
+
+type verdict =
+  | Holds of flow option
+      (** property established; positive queries (reach, temporal)
+          carry their replay-confirmed witness flow *)
+  | Fails of flow list * string
+      (** counterexample flows (isolate breaches, temporal cold
+          reaches), or a liveness failure with an empty list *)
+  | Unknown of string
+
+type report = {
+  verdict : verdict;
+  prop : Config.topo_prop;
+  paths : int;  (** composite states enumerated *)
+  checks : int;  (** solver decisions *)
+  sat : int;
+  depth : int;  (** packets composed: 1 or 2 *)
+  time : float;
+  cert : Cert.summary option;
+}
+
+let prop_to_string = function
+  | Config.Reach (a, b) -> Printf.sprintf "reach %s -> %s" a b
+  | Config.Isolate (a, b) -> Printf.sprintf "isolate %s -> %s" a b
+  | Config.Temporal (a, b) -> Printf.sprintf "temporal %s -> %s" a b
+
+let verdict_to_string = function
+  | Holds None -> "holds"
+  | Holds (Some _) -> "holds (witness confirmed)"
+  | Fails (flows, reason) ->
+    let confirmed =
+      List.length (List.filter (fun f -> f.w_confirmed) flows)
+    in
+    if flows = [] then Printf.sprintf "fails (%s)" reason
+    else
+      Printf.sprintf "fails: %d flow(s), %d replay-confirmed (%s)"
+        (List.length flows) confirmed reason
+  | Unknown msg -> Printf.sprintf "unknown (%s)" msg
+
+(** Every flow of a failing verdict replayed Confirmed (vacuously true
+    for the other verdicts) — the trust gate for breach reports. *)
+let all_confirmed r =
+  match r.verdict with
+  | Fails (flows, _) -> List.for_all (fun f -> f.w_confirmed) flows
+  | _ -> true
+
+let cert_complete = function
+  | None -> true
+  | Some (s : Cert.summary) ->
+    s.Cert.failed = 0 && s.Cert.certified = s.Cert.attempted
+
+(* {1 Shared query machinery} *)
+
+type qctx = {
+  rel : Relation.t;
+  cfg : config;
+  cert : Cert.collector option;
+  mutable npaths : int;
+  mutable checks : int;
+  mutable sat : int;
+  mutable unknowns : int;
+  mutable budget_hit : bool;
+}
+
+let base_assume cfg =
+  [
+    T.ule (T.var S.len_var 16)
+      (T.bv_int ~width:16 cfg.engine.Engine.max_len);
+  ]
+
+let make_qctx rel cfg =
+  {
+    rel;
+    cfg;
+    cert =
+      (if cfg.certify then
+         Some
+           (Cert.create_collector ~preprocess:cfg.preprocess
+              ~max_conflicts:cfg.solver_budget ())
+       else None);
+    npaths = 0;
+    checks = 0;
+    sat = 0;
+    unknowns = 0;
+    budget_hit = false;
+  }
+
+(* All plausible fabric paths from one ingress (any end). *)
+let paths_from q ingress =
+  let acc = ref [] in
+  (try
+     q.npaths <-
+       q.npaths
+       + Relation.enumerate q.rel ~ingress ~assume:(base_assume q.cfg)
+           ~max_paths:q.cfg.max_paths (fun fp -> acc := fp :: !acc)
+   with Relation.Path_budget -> q.budget_hit <- true);
+  List.rev !acc
+
+let ends_at_egress target (fp : Relation.fpath) =
+  match fp.Relation.fp_end with
+  | Relation.E_egress (pi, e) -> (pi, e) = target
+  | _ -> false
+
+(* Decide one (possibly primed) attack path; certify refutations. *)
+let decide q ?prime ~attack () =
+  let terms, deps = Relation.query_terms q.rel ?prime ~attack () in
+  let cache = if q.cfg.cache then Some Solver.shared_cache else None in
+  q.checks <- q.checks + 1;
+  match
+    Solver.check ?cache ~deps ~preprocess:q.cfg.preprocess
+      ~max_conflicts:q.cfg.solver_budget terms
+  with
+  | Solver.Sat m ->
+    q.sat <- q.sat + 1;
+    Some m
+  | Solver.Unsat ->
+    (match q.cert with
+    | Some col ->
+      ignore (Cert.certify_refutation col terms : (Cert.t, string) result)
+    | None -> ());
+    None
+  | Solver.Unknown ->
+    q.unknowns <- q.unknowns + 1;
+    None
+
+let ends_match (fe : Relation.fend) (ff : Fabric.ffinal) =
+  match (fe, ff) with
+  | Relation.E_egress (p, e), Fabric.F_egress (p', e') -> p = p' && e = e'
+  | Relation.E_drop (p, n), Fabric.F_drop (p', n') -> p = p' && n = n'
+  | Relation.E_crash (p, n, _), Fabric.F_crash (p', n', _) ->
+    p = p' && n = n'
+  | _ -> false
+
+let labeled_trail fab (fp : Relation.fpath) =
+  List.map
+    (fun (pi, n) -> ((Fabric.pipe fab pi).Fabric.p_name, n))
+    fp.Relation.fp_trail
+
+(* Replay a model on fresh wired runtimes from boot state: prime packet
+   first (when present), then the attack packet; both must end exactly
+   where their symbolic paths claim. *)
+let replay_flow q ~model ?prime ~attack ~ingress_name ~ingress () =
+  let fab = q.rel.Relation.fab in
+  let max_len = q.cfg.engine.Engine.max_len in
+  let fi = Fabric.instantiate fab in
+  let note = ref None in
+  let push_and_check (fp : Relation.fpath) (ing : int * int) pkt =
+    let pipe, in_port = ing in
+    let fr = Fabric.push fi ~pipe ~in_port pkt in
+    let ok = ends_match fp.Relation.fp_end fr.Fabric.f_final in
+    if not ok && !note = None then begin
+      let d =
+        Witness.divergence_steps (labeled_trail fab fp) fr.Fabric.f_steps
+      in
+      note :=
+        Some
+          (Printf.sprintf "replay ended at %s%s"
+             (Fabric.ffinal_to_string fab fr.Fabric.f_final)
+             (match d with Some d -> "; " ^ d | None -> ""))
+    end;
+    (ok, fr)
+  in
+  let prime_res =
+    match prime with
+    | None -> None
+    | Some (pr_ing_name, pr_ing, pr) ->
+      let pkt = Relation.prime_witness_packet model ~max_len in
+      let ok, _ = push_and_check pr pr_ing (P.clone pkt) in
+      Some (pr_ing_name, pkt, ok)
+  in
+  let pkt = Vdp_verif.Compose.witness_packet model ~max_len in
+  let ok, fr = push_and_check attack ingress (P.clone pkt) in
+  let confirmed =
+    ok && match prime_res with Some (_, _, pok) -> pok | None -> true
+  in
+  {
+    w_prime = Option.map (fun (n, p, _) -> (n, p)) prime_res;
+    w_ingress = ingress_name;
+    w_packet = pkt;
+    w_end = Fabric.ffinal_to_string fab fr.Fabric.f_final;
+    w_confirmed = confirmed;
+    w_note = !note;
+  }
+
+(* Prime candidates: all paths from every ingress that write private
+   state, labeled with their ingress. *)
+let prime_candidates q =
+  List.concat_map
+    (fun (name, ing) ->
+      List.filter_map
+        (fun fp ->
+          if Relation.writes_of_path fp <> [] then Some (name, ing, fp)
+          else None)
+        (paths_from q ing))
+    q.rel.Relation.fab.Fabric.ingresses
+
+let incompleteness q =
+  if q.budget_hit then Some "path budget exhausted"
+  else if q.unknowns > 0 then
+    Some (Printf.sprintf "%d solver answers unknown" q.unknowns)
+  else if Relation.any_incomplete q.rel then
+    Some "incomplete element summaries"
+  else None
+
+(* {1 The three queries} *)
+
+(* Interval-plausible parse variants whose path condition is already
+   unsatisfiable on its own (typically an offset-concretization variant
+   contradicting an earlier header check) can never pair into a
+   feasible two-packet flow; weed them out once before the quadratic
+   depth-2 scans. Plain satisfiability of the path condition — no boot
+   grounding, since a primed query replaces the cold store state. Not
+   counted against the certificate collector: dropping a pair whose
+   side is infeasible alone only removes unsatisfiable supersets. *)
+let shape_feasible q (fp : Relation.fpath) =
+  q.checks <- q.checks + 1;
+  let cache = if q.cfg.cache then Some Solver.shared_cache else None in
+  match
+    Solver.check ?cache ~deps:fp.Relation.fp_st.Compose.static_deps
+      ~preprocess:q.cfg.preprocess ~max_conflicts:q.cfg.solver_budget
+      fp.Relation.fp_st.Compose.cond
+  with
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown ->
+    q.unknowns <- q.unknowns + 1;
+    true
+
+(* Shared first stage: attack candidates from [a] ending at [b]. *)
+let attack_candidates q a b =
+  let ingress = Fabric.ingress q.rel.Relation.fab a in
+  let target = Fabric.egress q.rel.Relation.fab b in
+  (ingress, List.filter (ends_at_egress target) (paths_from q ingress))
+
+(* Isolation: no packet from [a] may reach [b], cold or primed by one
+   earlier packet from any ingress. All feasible flows are replayed and
+   reported; refutations are certified when configured. *)
+let run_isolate q a b =
+  let ingress, attacks = attack_candidates q a b in
+  let breaches = ref [] and depth = ref 1 in
+  List.iter
+    (fun attack ->
+      match decide q ~attack () with
+      | Some m ->
+        breaches :=
+          replay_flow q ~model:m ~attack ~ingress_name:a ~ingress ()
+          :: !breaches
+      | None -> ())
+    attacks;
+  (* Depth 2 only when depth 1 is clean: a cold breach already decides
+     the verdict, and the bench gates want the cheapest witness. *)
+  if !breaches = [] && attacks <> [] then begin
+    depth := 2;
+    let attacks = List.filter (shape_feasible q) attacks in
+    let primes =
+      List.filter (fun (_, _, pr) -> shape_feasible q pr) (prime_candidates q)
+    in
+    List.iter
+      (fun attack ->
+        List.iter
+          (fun (pr_name, pr_ing, pr) ->
+            if Relation.couples q.rel ~prime:pr ~attack then
+              match decide q ~prime:pr ~attack () with
+              | Some m ->
+                breaches :=
+                  replay_flow q ~model:m
+                    ~prime:(pr_name, pr_ing, pr)
+                    ~attack ~ingress_name:a ~ingress ()
+                  :: !breaches
+              | None -> ())
+          primes)
+      attacks
+  end;
+  let verdict =
+    match (List.rev !breaches, incompleteness q) with
+    | (_ :: _ as flows), _ -> Fails (flows, "isolation breached")
+    | [], Some why -> Unknown why
+    | [], None -> Holds None
+  in
+  (verdict, !depth)
+
+(* Reachability: some packet from [a] reaches [b]; try cold first, then
+   primed. The witness must replay-confirm to count. *)
+let run_reach q a b =
+  let ingress, attacks = attack_candidates q a b in
+  let found = ref None and depth = ref 1 in
+  let try_one ?prime attack =
+    if !found = None then
+      match
+        decide q
+          ?prime:(Option.map (fun (_, _, fp) -> fp) prime)
+          ~attack ()
+      with
+      | Some m ->
+        let f =
+          replay_flow q ~model:m ?prime ~attack ~ingress_name:a ~ingress ()
+        in
+        if f.w_confirmed then found := Some f
+      | None -> ()
+  in
+  List.iter (fun attack -> try_one attack) attacks;
+  if !found = None && attacks <> [] then begin
+    depth := 2;
+    let attacks = List.filter (shape_feasible q) attacks in
+    let primes =
+      List.filter (fun (_, _, pr) -> shape_feasible q pr) (prime_candidates q)
+    in
+    List.iter
+      (fun attack ->
+        List.iter
+          (fun (pr_name, pr_ing, pr) ->
+            if Relation.couples q.rel ~prime:pr ~attack then
+              try_one ~prime:(pr_name, pr_ing, pr) attack)
+          primes)
+      attacks
+  end;
+  let verdict =
+    match (!found, incompleteness q) with
+    | Some f, _ -> Holds (Some f)
+    | None, Some why -> Unknown why
+    | None, None -> Fails ([], "no feasible path")
+  in
+  (verdict, !depth)
+
+(* Temporal: [b] unreachable from [a] on a cold fabric, and reachable
+   (replay-confirmed) after one priming packet — the NAT property. *)
+let run_temporal q a b =
+  let ingress, attacks = attack_candidates q a b in
+  let cold = ref [] in
+  List.iter
+    (fun attack ->
+      match decide q ~attack () with
+      | Some m ->
+        cold :=
+          replay_flow q ~model:m ~attack ~ingress_name:a ~ingress ()
+          :: !cold
+      | None -> ())
+    attacks;
+  if !cold <> [] then
+    (Fails (List.rev !cold, "reachable from a cold fabric"), 1)
+  else
+    match incompleteness q with
+    | Some why -> (Unknown why, 1)
+    | None ->
+      let attacks = List.filter (shape_feasible q) attacks in
+      let primes =
+        List.filter (fun (_, _, pr) -> shape_feasible q pr)
+          (prime_candidates q)
+      in
+      let found = ref None in
+      List.iter
+        (fun attack ->
+          List.iter
+            (fun (pr_name, pr_ing, pr) ->
+              if
+                !found = None
+                && Relation.couples q.rel ~prime:pr ~attack
+              then
+                match decide q ~prime:pr ~attack () with
+                | Some m ->
+                  let f =
+                    replay_flow q ~model:m
+                      ~prime:(pr_name, pr_ing, pr)
+                      ~attack ~ingress_name:a ~ingress ()
+                  in
+                  if f.w_confirmed then found := Some f
+                | None -> ())
+            primes)
+        attacks;
+      (match (!found, incompleteness q) with
+      | Some f, _ -> (Holds (Some f), 2)
+      | None, Some why -> (Unknown why, 2)
+      | None, None ->
+        (Fails ([], "unreachable even after a priming packet"), 2))
+
+let now () = Unix.gettimeofday ()
+
+(** Run one declared property against a built relation. *)
+let run ?(config = default_config) rel prop =
+  let q = make_qctx rel config in
+  let t0 = now () in
+  let verdict, depth =
+    match prop with
+    | Config.Reach (a, b) -> run_reach q a b
+    | Config.Isolate (a, b) -> run_isolate q a b
+    | Config.Temporal (a, b) -> run_temporal q a b
+  in
+  {
+    verdict;
+    prop;
+    paths = q.npaths;
+    checks = q.checks;
+    sat = q.sat;
+    depth;
+    time = now () -. t0;
+    cert = Option.map Cert.summary q.cert;
+  }
+
+(* {1 Fabric crash-freedom} *)
+
+(** Feasible crash ends from any ingress (headroom exhaustion included
+    — {!Vdp_verif.Compose} threads the budget through every crossing),
+    plus the worst-case instruction bound over all plausible paths. *)
+type crash_report = {
+  c_verdict : verdict;
+  c_max_instrs : int;
+  c_paths : int;
+  c_cert : Cert.summary option;
+}
+
+let verify_crash ?(config = default_config) rel =
+  let q = make_qctx rel config in
+  let crashes = ref [] in
+  let max_instrs = ref 0 in
+  let npaths = ref 0 in
+  List.iter
+    (fun (name, ing) ->
+      List.iter
+        (fun (fp : Relation.fpath) ->
+          incr npaths;
+          max_instrs := max !max_instrs fp.Relation.fp_st.Compose.instr_hi;
+          match fp.Relation.fp_end with
+          | Relation.E_crash _ -> (
+            match decide q ~attack:fp () with
+            | Some m ->
+              crashes :=
+                replay_flow q ~model:m ~attack:fp ~ingress_name:name
+                  ~ingress:ing ()
+                :: !crashes
+            | None -> ())
+          | _ -> ())
+        (paths_from q ing))
+    rel.Relation.fab.Fabric.ingresses;
+  let verdict =
+    match (List.rev !crashes, incompleteness q) with
+    | (_ :: _ as flows), _ -> Fails (flows, "crash reachable")
+    | [], Some why -> Unknown why
+    | [], None -> Holds None
+  in
+  {
+    c_verdict = verdict;
+    c_max_instrs = !max_instrs;
+    c_paths = !npaths;
+    c_cert = Option.map Cert.summary q.cert;
+  }
+
+(* {1 Sessions: memoized verdicts under config churn} *)
+
+(* Pipes a property's queries can possibly read: link-closure from the
+   relevant ingresses (all of them for isolate/temporal, whose depth-2
+   stage composes primes from every ingress). *)
+let reachable_pipes fab from_pipes =
+  let n = Array.length fab.Fabric.pipes in
+  let inset = Array.make n false in
+  List.iter (fun pi -> inset.(pi) <- true) from_pipes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun (spi, _) (dpi, _) ->
+        if inset.(spi) && not inset.(dpi) then begin
+          inset.(dpi) <- true;
+          changed := true
+        end)
+      fab.Fabric.links
+  done;
+  let out = ref [] in
+  for pi = n - 1 downto 0 do
+    if inset.(pi) then out := pi :: !out
+  done;
+  !out
+
+let prop_pipes fab = function
+  | Config.Reach (a, _) ->
+    reachable_pipes fab [ fst (Fabric.ingress fab a) ]
+  | Config.Isolate _ | Config.Temporal _ ->
+    reachable_pipes fab
+      (List.map (fun (_, (pi, _)) -> pi) fab.Fabric.ingresses)
+
+(** A session memoizes per-property reports and revalidates them by
+    probing the Step-1 summary cache, exactly like
+    {!Vdp_verif.Verifier.session}: a report is reused only while every
+    pipeline it can read has {e physically} unchanged summaries
+    ({!Vdp_verif.Summaries.unchanged}). A [Static_data] mutation in one
+    pipeline's tables invalidates that pipeline's summaries through the
+    {!Vdp_verif.Staleness} listeners, which breaks the probe for
+    exactly the verdicts whose queries could read the mutated slice —
+    other pipelines' summaries, and verdicts not reading the mutated
+    pipeline, stay warm. *)
+type session = {
+  s_fab : Fabric.t;
+  s_config : config;
+  mutable s_memo : (Config.topo_prop * ((int * Summaries.entry array) list * report)) list;
+}
+
+let session ?(config = default_config) fab =
+  { s_fab = fab; s_config = config; s_memo = [] }
+
+(** [(report, memoized)] — [memoized] is true when a previous report
+    was revalidated without re-querying. *)
+let query (s : session) prop =
+  let rel = Relation.build ~config:s.s_config.engine s.s_fab in
+  match List.assoc_opt prop s.s_memo with
+  | Some (probes, r)
+    when List.for_all
+           (fun (pi, prev) ->
+             Summaries.unchanged prev rel.Relation.summaries.(pi))
+           probes ->
+    (r, true)
+  | _ ->
+    let r = run ~config:s.s_config rel prop in
+    let probes =
+      List.map
+        (fun pi -> (pi, rel.Relation.summaries.(pi)))
+        (prop_pipes s.s_fab prop)
+    in
+    s.s_memo <-
+      (prop, (probes, r)) :: List.remove_assoc prop s.s_memo;
+    (r, false)

@@ -75,6 +75,75 @@ let tests =
                   "a :: Counter; a -> Discard; a -> Discard;");
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "comments survive inside config parens" `Quick
+      (fun () ->
+        let pl =
+          Click.Config.parse
+            {|
+            f :: IPFilter(allow src 10.1.0.0/16, // own prefix only
+                          deny all);            // default deny
+            f -> Discard;
+            |}
+        in
+        let e = (Click.Pipeline.node pl 0).Click.Pipeline.element in
+        check_int "two rule args" 2 (List.length e.Click.Element.config));
+    Alcotest.test_case "named sub-sections prefix and resolve locally"
+      `Quick (fun () ->
+        let pl =
+          Click.Config.parse
+            {|
+            acl {
+              f :: IPFilter(allow all);
+              f -> Discard;   // local name resolves to acl.f
+            }
+            src :: Counter;
+            src -> acl.f;     // qualified reference from outside
+            |}
+        in
+        let names =
+          List.init (Click.Pipeline.length pl) (fun i ->
+              (Click.Pipeline.node pl i).Click.Pipeline.element
+                .Click.Element.name)
+        in
+        check_bool "section member is prefixed" true
+          (List.mem "acl.f" names);
+        let find n =
+          let rec go i =
+            if
+              (Click.Pipeline.node pl i).Click.Pipeline.element
+                .Click.Element.name = n
+            then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        let f = Click.Pipeline.node pl (find "acl.f") in
+        let s = Click.Pipeline.node pl (find "src") in
+        check_bool "local chain wired" true
+          (f.Click.Pipeline.outputs.(0) <> None);
+        check_bool "outside reaches in via qualified name" true
+          (s.Click.Pipeline.outputs.(0) = Some (find "acl.f", 0)));
+    Alcotest.test_case "parse_source dispatches single vs fabric" `Quick
+      (fun () ->
+        (match Click.Config.parse_source "a :: Counter; a -> Discard;" with
+        | Click.Config.Single pl ->
+          check_int "single: two nodes" 2 (Click.Pipeline.length pl)
+        | Click.Config.Fabric _ -> Alcotest.fail "expected Single");
+        match
+          Click.Config.parse_source
+            {|
+            topology {
+              pipeline p { a :: Counter; a -> Discard; }
+              ingress in = p;
+            }
+            |}
+        with
+        | Click.Config.Fabric t ->
+          check_int "fabric: one pipeline" 1
+            (List.length t.Click.Config.topo_pipelines);
+          check_int "fabric: one ingress" 1
+            (List.length t.Click.Config.topo_ingresses)
+        | Click.Config.Single _ -> Alcotest.fail "expected Fabric");
     Alcotest.test_case "example configs parse and verify" `Quick (fun () ->
         (* cwd is _build/default/test under dune runtest, the repo root
            when the executable is run by hand. *)

@@ -21,4 +21,5 @@ let () =
       ("cert", Test_cert.tests);
       ("batch", Test_batch.tests);
       ("staleness", Test_staleness.tests);
+      ("topo", Test_topo.tests);
     ]

@@ -286,4 +286,80 @@ let poison_tests =
           (entry.Summaries.result.E.segments <> []));
   ]
 
-let tests = flip_tests @ churn_tests @ fib_churn_tests @ poison_tests
+(* {1 Fabric sessions: churn in one pipeline spares the others} *)
+
+module Cfg = Vdp_click.Config
+module F = Vdp_topo.Fabric
+module Q = Vdp_topo.Query
+
+(* Two disconnected single-guard pipelines sharing a fabric. Mutating
+   the static slot read by one pipeline's guard must re-verify exactly
+   the properties whose pipe-closure contains that pipeline; the other
+   pipeline's memoized verdict must survive the churn untouched. *)
+let fabric_session_tests =
+  [
+    Alcotest.test_case "fabric: churn invalidates only the mutated pipe"
+      `Quick
+      (fun () ->
+        Summaries.clear ();
+        let ga, data_a = flag_element () in
+        let gb, _data_b = flag_element () in
+        let eg p = { Cfg.ref_pipeline = p; ref_element = None; ref_port = 0 } in
+        let topo =
+          {
+            Cfg.topo_pipelines =
+              [
+                ("pa", Click.Pipeline.linear [ ga ]);
+                ("pb", Click.Pipeline.linear [ gb ]);
+              ];
+            topo_links = [];
+            topo_ingresses = [ ("ia", "pa", 0); ("ib", "pb", 0) ];
+            topo_egresses = [ ("ea", eg "pa"); ("eb", eg "pb") ];
+            topo_props = [ Cfg.Reach ("ia", "ea"); Cfg.Reach ("ib", "eb") ];
+          }
+        in
+        let fab = F.of_topo topo in
+        let qcfg =
+          { Q.default_config with
+            Q.engine = { E.default_config with E.max_len = 128 } }
+        in
+        let s = Q.session ~config:qcfg fab in
+        let holds (r : Q.report) =
+          match r.Q.verdict with Q.Holds (Some _) -> true | _ -> false
+        in
+        let ra, m = Q.query s (Cfg.Reach ("ia", "ea")) in
+        check_bool "ia fresh" false m;
+        check_bool "ia holds" true (holds ra);
+        let rb, m = Q.query s (Cfg.Reach ("ib", "eb")) in
+        check_bool "ib fresh" false m;
+        check_bool "ib holds" true (holds rb);
+        (* Warm re-query: both verdicts come back memoized. *)
+        let _, m = Q.query s (Cfg.Reach ("ia", "ea")) in
+        check_bool "ia memoized" true m;
+        let _, m = Q.query s (Cfg.Reach ("ib", "eb")) in
+        check_bool "ib memoized" true m;
+        (* Poison pa's guard slot: its reach verdict must be recomputed
+           (and flip — the assert now fails on every path), while pb's
+           verdict is revalidated without re-querying. *)
+        Staleness.reset_stats ();
+        Sdata.set data_a (B.zero 8) (B.of_int ~width:8 1);
+        check_bool "mutation observed" true
+          (Staleness.stats.Staleness.mutations >= 1);
+        let ra2, m = Q.query s (Cfg.Reach ("ia", "ea")) in
+        check_bool "ia recomputed" false m;
+        check_bool "ia no longer holds" false (holds ra2);
+        let rb2, m = Q.query s (Cfg.Reach ("ib", "eb")) in
+        check_bool "ib still memoized" true m;
+        check_bool "ib still holds" true (holds rb2);
+        (* Restore: pa recomputes back to holding, pb stays warm. *)
+        Sdata.set data_a (B.zero 8) (B.zero 8);
+        let ra3, m = Q.query s (Cfg.Reach ("ia", "ea")) in
+        check_bool "ia recomputed after restore" false m;
+        check_bool "ia holds again" true (holds ra3);
+        let _, m = Q.query s (Cfg.Reach ("ib", "eb")) in
+        check_bool "ib memoized throughout" true m);
+  ]
+
+let tests =
+  flip_tests @ churn_tests @ fib_churn_tests @ poison_tests
+  @ fabric_session_tests
